@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 3 (victim mAP per backbone × loss × dataset)."""
+
+from repro.experiments import fig3_victim_maps
+
+from benchmarks.common import BENCH_SCALE, run_once, save_table
+
+
+def test_fig3_victim_maps(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: fig3_victim_maps.run(BENCH_SCALE, max_queries=16),
+    )
+    save_table("fig3_victim_maps", table)
+    values = table.column("mAP")
+    assert all(0.0 <= value <= 1.0 for value in values)
+    # Trained victims beat label-chance retrieval on average.
+    classes, _, _ = BENCH_SCALE.dataset_size("ucf101")
+    assert sum(values) / len(values) > 1.0 / classes

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 4 (surrogate mAP vs stolen size / feature dim)."""
+
+from repro.experiments import fig4_surrogate_maps
+
+from benchmarks.common import BENCH_SCALE, run_once, save_table
+
+
+def test_fig4_surrogate_maps(benchmark):
+    table = run_once(benchmark, lambda: fig4_surrogate_maps.run(BENCH_SCALE))
+    save_table("fig4_surrogate_maps", table)
+    assert all(0.0 <= value <= 1.0 for value in table.column("mAP"))

@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 5 (objective T vs number of queries)."""
+
+from repro.experiments import fig5_query_curves
+
+from benchmarks.common import BENCH_SCALE, run_once, save_table
+
+
+def test_fig5_query_curves(benchmark):
+    table = run_once(benchmark, lambda: fig5_query_curves.run(BENCH_SCALE))
+    save_table("fig5_query_curves", table)
+    # Every attack's min-so-far T series is non-increasing.
+    for row in table.rows:
+        series = row[3:]
+        assert all(a >= b - 1e-12 for a, b in zip(series, series[1:]))

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table X (detection rates of two defenses)."""
+
+from repro.experiments import table10_defenses
+
+from benchmarks.common import BENCH_SCALE, run_once, save_table
+
+
+def test_table10_defenses(benchmark):
+    table = run_once(benchmark, lambda: table10_defenses.run(BENCH_SCALE))
+    save_table("table10_defenses", table)
+    for column in ("feature_squeezing", "noise2self"):
+        assert all(0.0 <= value <= 100.0 for value in table.column(column))

@@ -1,0 +1,18 @@
+"""Bench: regenerate Table III (DUO vs surrogate-dataset size)."""
+
+import numpy as np
+
+from repro.experiments import table3_surrogate_size
+
+from benchmarks.common import BENCH_SCALE, QUICK, run_once, save_table
+
+
+def test_table3_surrogate_size(benchmark):
+    table = run_once(benchmark, lambda: table3_surrogate_size.run(BENCH_SCALE))
+    save_table("table3_surrogate_size", table)
+    aps = np.asarray(table.column("AP@m"), dtype=float)
+    assert np.all((aps >= 0.0) & (aps <= 1.0))
+    if not QUICK:
+        # Paper shape: surrogate size has little effect — AP@m should not
+        # collapse at the smallest size (spread stays moderate).
+        assert aps.max() - aps.min() < 0.7

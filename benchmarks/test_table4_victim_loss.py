@@ -1,0 +1,11 @@
+"""Bench: regenerate Table IV (DUO vs victim training loss)."""
+
+from repro.experiments import table4_victim_loss
+
+from benchmarks.common import BENCH_SCALE, run_once, save_table
+
+
+def test_table4_victim_loss(benchmark):
+    table = run_once(benchmark, lambda: table4_victim_loss.run(BENCH_SCALE))
+    save_table("table4_victim_loss", table)
+    assert set(table.column("victim_loss")) == {"arcface", "lifted", "angular"}

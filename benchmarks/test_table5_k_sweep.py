@@ -1,0 +1,23 @@
+"""Bench: regenerate Table V (DUO vs pixel budget k)."""
+
+import numpy as np
+
+from repro.experiments import table5_k_sweep
+
+from benchmarks.common import BENCH_SCALE, QUICK, run_once, save_table
+
+
+def test_table5_k_sweep(benchmark):
+    table = run_once(benchmark, lambda: table5_k_sweep.run(BENCH_SCALE))
+    save_table("table5_k_sweep", table)
+    if not QUICK:
+        # Paper shape: Spa grows with k.
+        rows = list(zip(table.column("dataset"), table.column("attack"),
+                        table.column("k"), table.column("Spa")))
+        for dataset in set(r[0] for r in rows):
+            for attack in set(r[1] for r in rows):
+                series = [(k, spa) for d, a, k, spa in rows
+                          if d == dataset and a == attack]
+                series.sort()
+                spas = [spa for _, spa in series]
+                assert spas[-1] >= spas[0]

@@ -1,0 +1,19 @@
+"""Bench: regenerate Table VI (DUO vs frame budget n)."""
+
+from repro.experiments import table6_n_sweep
+
+from benchmarks.common import BENCH_SCALE, QUICK, run_once, save_table
+
+
+def test_table6_n_sweep(benchmark):
+    table = run_once(benchmark, lambda: table6_n_sweep.run(BENCH_SCALE))
+    save_table("table6_n_sweep", table)
+    if not QUICK:
+        # Paper shape: more frames, more perturbed values.
+        rows = list(zip(table.column("dataset"), table.column("attack"),
+                        table.column("n"), table.column("Spa")))
+        for dataset in set(r[0] for r in rows):
+            for attack in set(r[1] for r in rows):
+                series = sorted((n, spa) for d, a, n, spa in rows
+                                if d == dataset and a == attack)
+                assert series[-1][1] >= series[0][1]

@@ -1,0 +1,19 @@
+"""Bench: regenerate Table VII (DUO vs perturbation budget τ)."""
+
+from repro.experiments import table7_tau_sweep
+
+from benchmarks.common import BENCH_SCALE, QUICK, run_once, save_table
+
+
+def test_table7_tau_sweep(benchmark):
+    table = run_once(benchmark, lambda: table7_tau_sweep.run(BENCH_SCALE))
+    save_table("table7_tau_sweep", table)
+    if not QUICK:
+        # Paper shape: PScore (perturbation magnitude) grows with τ.
+        rows = list(zip(table.column("dataset"), table.column("attack"),
+                        table.column("tau"), table.column("PScore")))
+        for dataset in set(r[0] for r in rows):
+            for attack in set(r[1] for r in rows):
+                series = sorted((tau, p) for d, a, tau, p in rows
+                                if d == dataset and a == attack)
+                assert series[-1][1] >= series[0][1]

@@ -1,0 +1,19 @@
+"""Bench: regenerate Table VIII (DUO vs iter_numH)."""
+
+from repro.experiments import table8_iternumh
+
+from benchmarks.common import BENCH_SCALE, QUICK, run_once, save_table
+
+
+def test_table8_iternumh(benchmark):
+    table = run_once(benchmark, lambda: table8_iternumh.run(BENCH_SCALE))
+    save_table("table8_iternumh", table)
+    if not QUICK:
+        # Paper shape: more loops spend more queries and grow Spa.
+        rows = list(zip(table.column("dataset"), table.column("attack"),
+                        table.column("iter_numH"), table.column("queries")))
+        for dataset in set(r[0] for r in rows):
+            for attack in set(r[1] for r in rows):
+                series = sorted((h, q) for d, a, h, q in rows
+                                if d == dataset and a == attack)
+                assert series[-1][1] >= series[0][1]

@@ -1,0 +1,19 @@
+"""Bench: regenerate Table IX (SparseTransfer transferability, ℓ2 vs ℓ∞)."""
+
+import numpy as np
+
+from repro.experiments import table9_transferability
+
+from benchmarks.common import BENCH_SCALE, QUICK, run_once, save_table
+
+
+def test_table9_transferability(benchmark):
+    table = run_once(benchmark, lambda: table9_transferability.run(BENCH_SCALE))
+    save_table("table9_transferability", table)
+    attacks = table.column("attack")
+    spas = table.column("Spa")
+    duo_spas = [s for a, s in zip(attacks, spas) if a.startswith("duo")]
+    timi_spas = [s for a, s in zip(attacks, spas) if a.startswith("timi")]
+    if not QUICK and duo_spas and timi_spas:
+        # Paper shape: DUO's transfer AEs are far sparser than TIMI's.
+        assert np.mean(duo_spas) < np.mean(timi_spas)

@@ -1,0 +1,5 @@
+"""Legacy setup shim for environments whose pip lacks wheel support."""
+
+from setuptools import setup
+
+setup()

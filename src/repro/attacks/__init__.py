@@ -1,0 +1,40 @@
+"""Adversarial-example attacks on video retrieval systems.
+
+The package implements the paper's DUO pipeline and the three baselines
+it compares against:
+
+* :class:`~repro.attacks.duo.DUOAttack` — SparseTransfer (Eq. 1 /
+  Algorithm 1) + SparseQuery (Eq. 2–4 / Algorithm 2), looped ``iter_numH``
+  times.
+* :class:`~repro.attacks.vanilla.VanillaAttack` — random pixel selection
+  + SimBA-style queries [53].
+* :class:`~repro.attacks.timi.TIMIAttack` — momentum + translation-
+  invariant dense transfer attack [25].
+* :class:`~repro.attacks.heu.HeuNesAttack` / ``HeuSimAttack`` — heuristic
+  frame/pixel selection with NES or SimBA optimization [16].
+"""
+
+from repro.attacks.base import Attack, AttackResult, project_linf, project_l2
+from repro.attacks.objective import RetrievalObjective, UntargetedRetrievalObjective
+from repro.attacks.vanilla import VanillaAttack
+from repro.attacks.timi import TIMIAttack
+from repro.attacks.heu import HeuNesAttack, HeuSimAttack, motion_saliency
+from repro.attacks.duo import DUOAttack, SparseTransfer, SparseQuery, TransferPriors
+
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "project_linf",
+    "project_l2",
+    "RetrievalObjective",
+    "UntargetedRetrievalObjective",
+    "VanillaAttack",
+    "TIMIAttack",
+    "HeuNesAttack",
+    "HeuSimAttack",
+    "motion_saliency",
+    "DUOAttack",
+    "SparseTransfer",
+    "SparseQuery",
+    "TransferPriors",
+]

@@ -1,0 +1,71 @@
+"""Common attack interfaces, result types, and perturbation projections."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.perturbation import PerturbationStats, perturbation_summary
+from repro.video.types import Video
+
+
+@dataclass
+class AttackResult:
+    """Everything an attack run produces.
+
+    Attributes
+    ----------
+    adversarial:
+        The synthesized ``v_adv``.
+    perturbation:
+        ``φ = v_adv − v`` (same shape as the video pixels).
+    queries_used:
+        Black-box queries consumed by the attack (0 for pure transfer).
+    objective_trace:
+        Objective value after each accepted/attempted query iteration —
+        the series plotted in the paper's Figure 5.
+    """
+
+    adversarial: Video
+    perturbation: np.ndarray
+    queries_used: int = 0
+    objective_trace: list[float] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def stats(self) -> PerturbationStats:
+        """Stealthiness metrics (Spa, PScore, frames, ℓ∞) of this AE."""
+        return perturbation_summary(self.perturbation)
+
+
+class Attack:
+    """Base class: an attack maps ``(v, v_t)`` to an :class:`AttackResult`."""
+
+    name: str = "attack"
+
+    def run(self, original: Video, target: Video) -> AttackResult:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def project_linf(perturbation: np.ndarray, tau: float) -> np.ndarray:
+    """Project ``φ`` onto the ℓ∞ ball of radius ``τ`` (per value)."""
+    return np.clip(perturbation, -tau, tau)
+
+
+def project_l2(perturbation: np.ndarray, radius: float) -> np.ndarray:
+    """Project ``φ`` onto the ℓ2 ball of the given radius."""
+    norm = float(np.linalg.norm(perturbation))
+    if norm <= radius or norm == 0.0:
+        return perturbation
+    return perturbation * (radius / norm)
+
+
+def clip_video_range(original_pixels: np.ndarray,
+                     perturbation: np.ndarray) -> np.ndarray:
+    """Trim ``φ`` so that ``v + φ`` stays inside the valid pixel range."""
+    clipped = np.clip(original_pixels + perturbation, 0.0, 1.0)
+    return clipped - original_pixels

@@ -1,0 +1,22 @@
+"""The DUO attack: dual search over frames and pixels.
+
+``DUOAttack`` chains :class:`SparseTransfer` (surrogate-side sparse
+perturbation synthesis, Eq. 1 / Algorithm 1) and :class:`SparseQuery`
+(black-box rectification, Eq. 2–4 / Algorithm 2), looping them
+``iter_numH`` times as in the paper.
+"""
+
+from repro.attacks.duo.masks import lp_box_admm_select, select_top_frames
+from repro.attacks.duo.priors import TransferPriors
+from repro.attacks.duo.sparse_transfer import SparseTransfer
+from repro.attacks.duo.sparse_query import SparseQuery
+from repro.attacks.duo.pipeline import DUOAttack
+
+__all__ = [
+    "lp_box_admm_select",
+    "select_top_frames",
+    "TransferPriors",
+    "SparseTransfer",
+    "SparseQuery",
+    "DUOAttack",
+]

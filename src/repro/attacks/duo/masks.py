@@ -1,0 +1,102 @@
+"""Mask subproblem solvers for SparseTransfer.
+
+* :func:`lp_box_admm_select` — the pixel-mask update (Algorithm 1 line 4):
+  an ℓp-box ADMM [18] that selects exactly ``k`` coordinates maximizing a
+  utility vector.  The binary set ``{0,1}^d`` is replaced by the
+  intersection of the box ``[0,1]^d`` and the sphere centred at ``0.5``
+  with radius ``√d/2``; the cardinality constraint ``1ᵀI = k`` is enforced
+  inside the primal update by hyperplane projection.
+* :func:`select_top_frames` — the frame-mask update (lines 5–7): rank
+  frames by the ℓ2 norm of their continuous scores and keep the top ``n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def lp_box_admm_select(utility: np.ndarray, k: int, rho: float = 1.0,
+                       iterations: int = 30) -> np.ndarray:
+    """Select ``k`` coordinates (binary mask) maximizing ``utilityᵀI``.
+
+    Solves ``max_I utilityᵀI  s.t. I ∈ {0,1}^d, 1ᵀI = k`` with the ℓp-box
+    ADMM relaxation, then binarizes by taking the top-``k`` primal scores.
+
+    Parameters
+    ----------
+    utility:
+        Arbitrary-shaped utility per coordinate (flattened internally).
+    k:
+        Exact number of ones in the returned mask.
+    rho:
+        ADMM penalty weight.
+    iterations:
+        ADMM sweeps; the subproblem is small so few are needed.
+
+    Returns
+    -------
+    A float mask with exactly ``k`` ones, shaped like ``utility``.
+    """
+    shape = utility.shape
+    s = np.asarray(utility, dtype=np.float64).reshape(-1)
+    d = s.size
+    if not 0 <= k <= d:
+        raise ValueError(f"k={k} out of range for {d} coordinates")
+    if k == 0:
+        return np.zeros(shape)
+    if k == d:
+        return np.ones(shape)
+
+    # Normalize utilities so rho is scale-free.
+    scale = np.abs(s).max()
+    if scale > 0:
+        s = s / scale
+
+    radius = np.sqrt(d) / 2.0
+    primal = np.full(d, k / d)
+    z_box = primal.copy()
+    z_sphere = primal.copy()
+    u_box = np.zeros(d)
+    u_sphere = np.zeros(d)
+
+    for _ in range(int(iterations)):
+        # Primal update: quadratic objective + hyperplane 1ᵀI = k.
+        primal = 0.5 * (z_box - u_box + z_sphere - u_sphere) + s / (2.0 * rho)
+        primal += (k - primal.sum()) / d
+        # Box projection.
+        z_box = np.clip(primal + u_box, 0.0, 1.0)
+        # Sphere projection (centre 0.5, radius √d/2).
+        centered = primal + u_sphere - 0.5
+        norm = np.linalg.norm(centered)
+        if norm > 0:
+            z_sphere = 0.5 + centered * (radius / norm)
+        else:
+            z_sphere = np.full(d, 0.5)
+        # Dual updates.
+        u_box += primal - z_box
+        u_sphere += primal - z_sphere
+
+    # Binarize: exactly k ones at the largest primal scores, utilities
+    # breaking ties so equal primal values prefer higher utility.
+    ranking = np.lexsort((-s, -primal))
+    mask = np.zeros(d)
+    mask[ranking[:k]] = 1.0
+    return mask.reshape(shape)
+
+
+def select_top_frames(scores: np.ndarray, n: int) -> np.ndarray:
+    """Binary frame mask keeping the ``n`` largest-ℓ2 frames.
+
+    ``scores`` is either ``(N,)`` per-frame scalars or ``(N, ...)``
+    per-frame score maps; rows are ranked by ℓ2 norm
+    (``‖C_π(1)‖₂ ≥ … ≥ ‖C_π(N)‖₂`` in Algorithm 1).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    frames = scores.shape[0]
+    if not 0 < n <= frames:
+        raise ValueError(f"n={n} out of range for {frames} frames")
+    norms = np.sqrt((scores.reshape(frames, -1) ** 2).sum(axis=1))
+    keep = np.argsort(-norms, kind="stable")[:n]
+    mask = np.zeros(frames)
+    mask[keep] = 1.0
+    return mask

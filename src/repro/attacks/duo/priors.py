@@ -1,0 +1,52 @@
+"""The transfer-stage output ``{I, F, θ}`` — DUO's "prior knowledge"."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class TransferPriors:
+    """Pixel mask ``I``, frame mask ``F``, and magnitudes ``θ``.
+
+    Shapes follow the paper: ``I`` and ``θ`` are ``(N, H, W, C)``; the
+    frame mask is stored compactly as ``(N,)`` and broadcast on use.
+    """
+
+    pixel_mask: np.ndarray
+    frame_mask: np.ndarray
+    theta: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.pixel_mask = np.asarray(self.pixel_mask, dtype=np.float64)
+        self.frame_mask = np.asarray(self.frame_mask, dtype=np.float64).reshape(-1)
+        self.theta = np.asarray(self.theta, dtype=np.float64)
+        if self.pixel_mask.shape != self.theta.shape:
+            raise ValueError("pixel mask and theta must share a shape")
+        if self.frame_mask.shape[0] != self.theta.shape[0]:
+            raise ValueError("frame mask length must equal the frame count")
+
+    @property
+    def broadcast_frame_mask(self) -> np.ndarray:
+        """Frame mask reshaped to ``(N, 1, 1, 1)`` for elementwise use."""
+        return self.frame_mask[:, None, None, None]
+
+    def perturbation(self) -> np.ndarray:
+        """``φ = I ⊙ F ⊙ θ``."""
+        return self.pixel_mask * self.broadcast_frame_mask * self.theta
+
+    def support(self) -> np.ndarray:
+        """Boolean mask of coordinates SparseQuery may touch (Eq. 4)."""
+        return np.abs(self.perturbation()) > 0.0
+
+    @classmethod
+    def fresh(cls, shape: tuple[int, ...]) -> "TransferPriors":
+        """Algorithm-1 initialization: ``I = 1``, ``F = 1``, ``θ = 0``."""
+        frames = shape[0]
+        return cls(
+            pixel_mask=np.ones(shape),
+            frame_mask=np.ones(frames),
+            theta=np.zeros(shape),
+        )

@@ -1,0 +1,104 @@
+"""The black-box attack objective ``T`` (paper Eq. 2).
+
+.. math::
+   T(v_{adv}, v, v_t) = H(R^m(v_{adv}), R^m(v))
+                      - H(R^m(v_{adv}), R^m(v_t)) + \\eta
+
+``H`` is the NDCG-style co-occurrence similarity; lowering ``T`` moves
+``R^m(v_adv)`` away from the original's list and toward the target's.
+Every evaluation costs one service query, which the objective counts and
+traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.similarity import ndcg_similarity
+from repro.retrieval.service import RetrievalService
+from repro.video.types import Video
+
+
+class RetrievalObjective:
+    """Stateful evaluator of ``T`` against a black-box service."""
+
+    def __init__(self, service: RetrievalService, original: Video,
+                 target: Video, eta: float = 1.0) -> None:
+        self.service = service
+        self.eta = float(eta)
+        # Reference lists cost two queries, paid once up front.
+        self.original_ids = service.query(original).ids
+        self.target_ids = service.query(target).ids
+        self.queries = 2
+        self.trace: list[float] = []
+
+    def value(self, candidate: Video) -> float:
+        """Evaluate ``T(candidate, v, v_t)``; costs one query."""
+        result_ids = self.service.query(candidate).ids
+        self.queries += 1
+        value = (
+            ndcg_similarity(result_ids, self.original_ids)
+            - ndcg_similarity(result_ids, self.target_ids)
+            + self.eta
+        )
+        self.trace.append(value)
+        return value
+
+    def success_ap(self, candidate: Video) -> float:
+        """AP@m of the candidate's list against the target's (evaluation only).
+
+        Not part of the attack loop; used by the harness after an attack
+        finishes, so it does not count toward attack queries.
+        """
+        from repro.metrics.ranking import ap_at_m
+
+        result_ids = self.service.query(candidate).ids
+        return ap_at_m(result_ids, self.target_ids)
+
+
+class UntargetedRetrievalObjective:
+    """Untargeted variant of Eq. 2 (paper §I: "can be easily extended").
+
+    Drops the target term: ``T_unt = H(R^m(v_adv), R^m(v)) + η``.
+    Minimizing it pushes the adversarial list away from the original's —
+    retrieval returns "arbitrary videos except for the correct ones".
+    Duck-type compatible with :class:`RetrievalObjective`, so every query
+    attack accepts it unchanged.
+    """
+
+    def __init__(self, service: RetrievalService, original: Video,
+                 target: Video | None = None, eta: float = 1.0) -> None:
+        self.service = service
+        self.eta = float(eta)
+        self.original_ids = service.query(original).ids
+        # target is accepted (and ignored) for interface compatibility.
+        self.target_ids: list[str] = []
+        self.queries = 1
+        self.trace: list[float] = []
+
+    def value(self, candidate: Video) -> float:
+        """Evaluate ``T_unt(candidate, v)``; costs one query."""
+        result_ids = self.service.query(candidate).ids
+        self.queries += 1
+        value = ndcg_similarity(result_ids, self.original_ids) + self.eta
+        self.trace.append(value)
+        return value
+
+    def escape_rate(self, candidate: Video) -> float:
+        """Fraction of the original list no longer returned (evaluation)."""
+        result_ids = set(self.service.query(candidate).ids)
+        if not self.original_ids:
+            return 0.0
+        escaped = sum(1 for vid in self.original_ids if vid not in result_ids)
+        return escaped / len(self.original_ids)
+
+    def success_ap(self, candidate: Video) -> float:
+        """AP@m of the candidate's list against the target's (evaluation only).
+
+        Not part of the attack loop; used by the harness after an attack
+        finishes, so it does not count toward attack queries.
+        """
+        from repro.metrics.ranking import ap_at_m
+
+        result_ids = self.service.query(candidate).ids
+        return ap_at_m(result_ids, self.target_ids)

@@ -1,0 +1,152 @@
+"""Black-box search primitives shared by the baseline attacks.
+
+* :func:`simba_search` — SimBA [53]: Cartesian-basis ±ε coordinate
+  descent on the retrieval objective, restricted to a support mask.
+* :func:`nes_search` — NES-style gradient estimation with antithetic
+  Gaussian probes restricted to a support mask, followed by signed
+  descent steps (the optimizer inside HEU-Nes [16]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import clip_video_range, project_linf
+from repro.attacks.objective import RetrievalObjective
+from repro.utils.seeding import seeded_rng
+from repro.video.types import Video
+
+
+def default_block_size(support_size: int) -> int:
+    """Heuristic direction width: ``√|support|`` coordinates per step.
+
+    A ±ε step over ``b`` coordinates displaces the input by ``ε·√b`` in
+    ℓ2; with ``b = √|support|`` the probes are strong enough to cross
+    rank boundaries of the retrieval list while staying refinable.
+    """
+    return max(1, int(round(np.sqrt(max(support_size, 1)))))
+
+
+def simba_search(original: Video, objective: RetrievalObjective,
+                 support: np.ndarray, tau: float, iterations: int,
+                 epsilon: float | None = None, rng=None,
+                 initial: np.ndarray | None = None, tie_rule: str = "move",
+                 block_size: int | None = None
+                 ) -> tuple[Video, np.ndarray, list[float]]:
+    """Greedy ±ε direction descent on ``T`` over the ``support``.
+
+    Directions are signed indicator blocks: each iteration consumes
+    ``block_size`` fresh coordinates from a without-replacement stream
+    over the support (reshuffled when exhausted) and proposes a random-
+    sign ±ε move on them, keeping it if the objective does not worsen.
+    ``block_size=1`` recovers the classic single-pixel SimBA [53].
+
+    Parameters
+    ----------
+    support:
+        Boolean array shaped like the video pixels; only these
+        coordinates may be perturbed.
+    tau:
+        ℓ∞ budget on the *final* perturbation, in [0, 1] units.
+    epsilon:
+        Step magnitude (defaults to ``tau``).
+    tie_rule:
+        ``"move"`` accepts non-worsening steps (Eq. 3 behaviour, keeps
+        exploring on plateaus of the list objective); ``"stay"`` accepts
+        only strict decreases.
+    block_size:
+        Coordinates per direction; ``None`` selects
+        :func:`default_block_size`.
+
+    Returns ``(adversarial, perturbation, trace)``.
+    """
+    rng = seeded_rng(rng)
+    base = original.pixels
+    epsilon = tau if epsilon is None else float(epsilon)
+    perturbation = np.zeros_like(base) if initial is None else initial.copy()
+    perturbation = clip_video_range(base, project_linf(perturbation, tau))
+
+    coords = np.flatnonzero(np.asarray(support).reshape(-1))
+    current = original.perturbed(perturbation)
+    best = objective.value(current)
+    trace = [best]
+    if coords.size == 0:
+        return current, perturbation, trace
+    block = default_block_size(coords.size) if block_size is None else \
+        max(1, int(block_size))
+
+    order = rng.permutation(coords)
+    cursor = 0
+    for _ in range(int(iterations)):
+        if cursor + block > order.size:
+            order = rng.permutation(coords)
+            cursor = 0
+        chosen = order[cursor : cursor + block]
+        cursor += block
+        signs = rng.choice((-1.0, 1.0), size=chosen.size)
+        for flip in (+1.0, -1.0):
+            candidate = perturbation.copy()
+            candidate.reshape(-1)[chosen] += flip * signs * epsilon
+            candidate = clip_video_range(base, project_linf(candidate, tau))
+            if np.array_equal(candidate, perturbation):
+                continue  # projection undid the step; skip the query
+            adversarial = original.perturbed(candidate)
+            value = objective.value(adversarial)
+            trace.append(value)
+            if value < best or (tie_rule == "move" and value <= best):
+                best = value
+                perturbation = candidate
+                current = adversarial
+                break
+    return current, perturbation, trace
+
+
+def nes_search(original: Video, objective: RetrievalObjective,
+               support: np.ndarray, tau: float, iterations: int,
+               samples: int = 4, sigma: float = 0.05, lr: float | None = None,
+               rng=None, initial: np.ndarray | None = None
+               ) -> tuple[Video, np.ndarray, list[float]]:
+    """NES gradient-estimation descent on ``T`` over ``support``.
+
+    Each iteration draws ``samples`` antithetic Gaussian probes (costing
+    ``2·samples`` queries), estimates the gradient of ``T``, and takes a
+    signed step of size ``lr`` (default ``tau / 10``).
+    """
+    rng = seeded_rng(rng)
+    base = original.pixels
+    mask = np.asarray(support, dtype=np.float64)
+    lr = tau / 5.0 if lr is None else float(lr)
+    perturbation = np.zeros_like(base) if initial is None else initial.copy()
+    perturbation = clip_video_range(base, project_linf(perturbation, tau))
+
+    current = original.perturbed(perturbation)
+    best = objective.value(current)
+    best_perturbation = perturbation.copy()
+    trace = [best]
+
+    for _ in range(int(iterations)):
+        gradient = np.zeros_like(perturbation)
+        for _ in range(int(samples)):
+            probe = rng.normal(size=perturbation.shape) * mask
+            plus = original.perturbed(
+                clip_video_range(base, project_linf(perturbation + sigma * probe, tau))
+            )
+            minus = original.perturbed(
+                clip_video_range(base, project_linf(perturbation - sigma * probe, tau))
+            )
+            value_plus = objective.value(plus)
+            value_minus = objective.value(minus)
+            trace.extend([value_plus, value_minus])
+            gradient += (value_plus - value_minus) * probe
+        gradient /= 2.0 * sigma * samples
+
+        perturbation = perturbation - lr * np.sign(gradient) * mask
+        perturbation = clip_video_range(base, project_linf(perturbation, tau))
+        current = original.perturbed(perturbation)
+        value = objective.value(current)
+        trace.append(value)
+        if value < best:
+            best = value
+            best_perturbation = perturbation.copy()
+
+    return (original.perturbed(best_perturbation), best_perturbation, trace)

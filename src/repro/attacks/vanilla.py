@@ -1,0 +1,74 @@
+"""Vanilla baseline: random sparse masks + SimBA queries.
+
+Paper Section V-B: "It first randomly selects pixels for each frame given
+a fixed Spa.  Then it uses a query-based attack [53] to generate v_adv."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.objective import RetrievalObjective
+from repro.attacks.search import simba_search
+from repro.retrieval.service import RetrievalService
+from repro.utils.seeding import seeded_rng
+from repro.video.types import Video
+
+
+def random_support(shape: tuple[int, ...], k: int, n: int,
+                   rng=None) -> np.ndarray:
+    """Random sparse support: ``n`` random frames, ``k`` random values.
+
+    The ``k`` values are spread uniformly over the selected frames.
+    """
+    rng = seeded_rng(rng)
+    frames = shape[0]
+    per_frame = int(np.prod(shape[1:]))
+    n = min(int(n), frames)
+    chosen_frames = rng.choice(frames, size=n, replace=False)
+    support = np.zeros(shape, dtype=bool)
+    budget = min(int(k), n * per_frame)
+    per_frame_budget = np.full(n, budget // n)
+    per_frame_budget[: budget % n] += 1
+    for frame, count in zip(chosen_frames, per_frame_budget):
+        if count == 0:
+            continue
+        picks = rng.choice(per_frame, size=int(count), replace=False)
+        support.reshape(frames, -1)[frame, picks] = True
+    return support
+
+
+class VanillaAttack(Attack):
+    """Random-selection sparse query attack (the paper's Vanilla)."""
+
+    name = "vanilla"
+
+    def __init__(self, service: RetrievalService, k: int, n: int = 4,
+                 tau: float = 30.0, iterations: int = 1000, eta: float = 1.0,
+                 rng=None) -> None:
+        self.service = service
+        self.k = int(k)
+        self.n = int(n)
+        self.tau = float(tau) / 255.0
+        self.iterations = int(iterations)
+        self.eta = float(eta)
+        self.rng = seeded_rng(rng)
+
+    def run(self, original: Video, target: Video) -> AttackResult:
+        """Random-support SimBA attack on the pair ``(v, v_t)``."""
+        objective = RetrievalObjective(self.service, original, target,
+                                       eta=self.eta)
+        support = random_support(original.pixels.shape, self.k, self.n,
+                                 rng=self.rng)
+        adversarial, perturbation, trace = simba_search(
+            original, objective, support, tau=self.tau,
+            iterations=self.iterations, rng=self.rng,
+        )
+        return AttackResult(
+            adversarial=adversarial,
+            perturbation=perturbation,
+            queries_used=objective.queries,
+            objective_trace=trace,
+            metadata={"k": self.k, "n": self.n, "tau": self.tau * 255.0},
+        )

@@ -1,0 +1,27 @@
+"""Defenses evaluated in the paper (Section V-D).
+
+* :class:`~repro.defenses.feature_squeezing.FeatureSqueezer` — input
+  squeezing (bit-depth reduction + spatial smoothing) per Xu et al. [26].
+* :class:`~repro.defenses.noise2self.Noise2SelfDenoiser` — J-invariant
+  self-supervised denoising per Batson & Royer [27].
+* :class:`~repro.defenses.detector.SqueezeDetector` — the standard
+  detection harness: flag a query whose retrieval list changes too much
+  under the transformation, with the threshold calibrated on clean
+  queries.
+"""
+
+from repro.defenses.feature_squeezing import FeatureSqueezer
+from repro.defenses.noise2self import Noise2SelfDenoiser
+from repro.defenses.detector import SqueezeDetector, detection_rate
+from repro.defenses.ensemble import EnsembleEngine
+from repro.defenses.stateful import StatefulQueryDetector, query_fingerprint
+
+__all__ = [
+    "FeatureSqueezer",
+    "Noise2SelfDenoiser",
+    "SqueezeDetector",
+    "detection_rate",
+    "EnsembleEngine",
+    "StatefulQueryDetector",
+    "query_fingerprint",
+]

@@ -1,0 +1,73 @@
+"""Detection harness: flag queries whose lists are unstable under a transform.
+
+Following the feature-squeezing detection recipe [26], a query is flagged
+as adversarial when the retrieval list of the raw query and the list of
+the transformed (squeezed / denoised) query disagree by more than a
+threshold.  The threshold is calibrated to a false-positive budget on
+clean queries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.metrics.similarity import ndcg_similarity
+from repro.retrieval.engine import RetrievalEngine
+from repro.video.types import Video
+
+Transform = Callable[[Video], Video]
+
+
+class SqueezeDetector:
+    """List-stability detector around a retrieval engine.
+
+    Parameters
+    ----------
+    engine:
+        Owner-side engine (the defense runs server side and may query the
+        model freely).
+    transform:
+        The squeezing/denoising transform to compare against.
+    m:
+        List length used for the stability comparison.
+    """
+
+    def __init__(self, engine: RetrievalEngine, transform: Transform,
+                 m: int = 10) -> None:
+        self.engine = engine
+        self.transform = transform
+        self.m = int(m)
+        self.threshold: float | None = None
+
+    def score(self, video: Video) -> float:
+        """Instability score in [0, 1]: 1 − similarity(raw list, squeezed list)."""
+        raw_ids = self.engine.retrieve(video, self.m).ids
+        squeezed_ids = self.engine.retrieve(self.transform(video), self.m).ids
+        return 1.0 - ndcg_similarity(raw_ids, squeezed_ids)
+
+    def fit(self, clean_videos: list[Video],
+            false_positive_rate: float = 0.05) -> float:
+        """Calibrate the threshold on clean queries; returns the threshold."""
+        if not clean_videos:
+            raise ValueError("need clean videos to calibrate the detector")
+        scores = np.asarray([self.score(video) for video in clean_videos])
+        quantile = 1.0 - float(false_positive_rate)
+        self.threshold = float(np.quantile(scores, quantile))
+        return self.threshold
+
+    def detect(self, video: Video) -> bool:
+        """Return True when the query is flagged as adversarial."""
+        if self.threshold is None:
+            raise RuntimeError("call fit() before detect()")
+        return self.score(video) > self.threshold
+
+
+def detection_rate(detector: SqueezeDetector,
+                   adversarial_videos: list[Video]) -> float:
+    """Fraction of adversarial examples the detector flags (Table X)."""
+    if not adversarial_videos:
+        return 0.0
+    flagged = sum(detector.detect(video) for video in adversarial_videos)
+    return flagged / len(adversarial_videos)

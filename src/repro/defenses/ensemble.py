@@ -1,0 +1,53 @@
+"""Ensemble retrieval defense (the paper's §V-D proposal).
+
+"Ensemble models built from multiple backbones would be more robust
+against most AE attacks, DUO included."  :class:`EnsembleEngine` fuses
+the similarity rankings of several independently trained victim engines
+by reciprocal-rank fusion, so an AE must fool *every* backbone at once
+to steer the fused list.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.retrieval.engine import RetrievalEngine
+from repro.retrieval.lists import RetrievalEntry, RetrievalList
+from repro.video.types import Video
+
+
+class EnsembleEngine:
+    """Rank-fusion front over several :class:`RetrievalEngine` members.
+
+    Duck-type compatible with :class:`RetrievalEngine` for the purposes
+    of :class:`~repro.retrieval.service.RetrievalService`, detectors, and
+    the evaluation harness (exposes ``retrieve``/``gallery_size``).
+    """
+
+    def __init__(self, engines: list[RetrievalEngine],
+                 fusion_constant: float = 10.0) -> None:
+        if not engines:
+            raise ValueError("ensemble needs at least one engine")
+        self.engines = list(engines)
+        self.fusion_constant = float(fusion_constant)
+
+    @property
+    def gallery_size(self) -> int:
+        return self.engines[0].gallery_size
+
+    def retrieve(self, video: Video, m: int) -> RetrievalList:
+        """Reciprocal-rank-fusion of every member's top-``m`` list."""
+        scores: dict[str, float] = defaultdict(float)
+        labels: dict[str, int] = {}
+        # Ask each member for a deeper list so fused tails are stable.
+        depth = 2 * int(m)
+        for engine in self.engines:
+            result = engine.retrieve(video, depth)
+            for rank, entry in enumerate(result, start=1):
+                scores[entry.video_id] += 1.0 / (self.fusion_constant + rank)
+                labels[entry.video_id] = entry.label
+        ranked = sorted(scores.items(), key=lambda item: -item[1])[: int(m)]
+        return RetrievalList(
+            [RetrievalEntry(video_id, labels[video_id], score)
+             for video_id, score in ranked]
+        )

@@ -1,0 +1,48 @@
+"""Noise2Self-style J-invariant denoising (Batson & Royer, ICML'19).
+
+The defense treats adversarial perturbations as noise and removes them
+with a self-supervised, J-invariant denoiser: each pixel is re-predicted
+from its spatial neighbourhood *excluding itself* (donut kernel), which
+is the core J-invariance construction of Noise2Self.  No training is
+needed for the linear instantiation used here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.video.types import Video
+
+
+class Noise2SelfDenoiser:
+    """J-invariant denoiser: donut-kernel neighbourhood re-prediction.
+
+    Parameters
+    ----------
+    radius:
+        Neighbourhood radius; the kernel covers ``(2r+1)²`` pixels minus
+        the centre.
+    strength:
+        Blend factor in [0, 1]: 1 replaces each pixel entirely by its
+        J-invariant prediction, smaller values interpolate.
+    """
+
+    def __init__(self, radius: int = 1, strength: float = 1.0) -> None:
+        if radius < 1:
+            raise ValueError("radius must be >= 1")
+        if not 0.0 <= strength <= 1.0:
+            raise ValueError("strength must be in [0, 1]")
+        self.radius = int(radius)
+        self.strength = float(strength)
+        size = 2 * self.radius + 1
+        kernel = np.ones((size, size), dtype=np.float64)
+        kernel[self.radius, self.radius] = 0.0  # J-invariance: exclude self
+        self._kernel = (kernel / kernel.sum())[None, :, :, None]
+
+    def __call__(self, video: Video) -> Video:
+        """Return the denoised copy of ``video``."""
+        predicted = ndimage.convolve(video.pixels, self._kernel, mode="nearest")
+        mixed = (1.0 - self.strength) * video.pixels + self.strength * predicted
+        return Video(np.clip(mixed, 0.0, 1.0), video.label,
+                     f"{video.video_id}#denoised", dict(video.metadata))

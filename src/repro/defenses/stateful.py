@@ -1,0 +1,95 @@
+"""Stateful query-pattern detection (Chen, Carlini & Wagner style [13]).
+
+The paper's introduction notes that deployed systems "can detect certain
+query accounts with 'adversarial behavior'": black-box attacks issue
+long streams of *near-duplicate* queries while probing a perturbation.
+:class:`StatefulQueryDetector` keeps a sliding window of recent query
+fingerprints per account and flags an account once too many of its
+queries fall within a small distance of an earlier one.
+
+The fingerprint is a coarse perceptual hash (down-sampled pixel means),
+so the detector needs no access to the model — it runs at the API edge.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+import numpy as np
+
+from repro.video.types import Video
+
+
+def query_fingerprint(video: Video, grid: int = 4) -> np.ndarray:
+    """Down-sampled perceptual fingerprint of a query video.
+
+    Averages pixels over a ``grid × grid`` spatial mesh per frame and
+    channel; near-duplicate queries map to nearby fingerprints while
+    unrelated videos stay far apart.
+    """
+    frames, height, width, channels = video.pixels.shape
+    row_edges = np.linspace(0, height, grid + 1, dtype=int)
+    col_edges = np.linspace(0, width, grid + 1, dtype=int)
+    cells = np.empty((frames, grid, grid, channels))
+    for i in range(grid):
+        for j in range(grid):
+            block = video.pixels[:, row_edges[i]:row_edges[i + 1],
+                                 col_edges[j]:col_edges[j + 1], :]
+            cells[:, i, j, :] = block.mean(axis=(1, 2))
+    return cells.reshape(-1)
+
+
+class StatefulQueryDetector:
+    """Sliding-window near-duplicate query detector per account.
+
+    Parameters
+    ----------
+    window:
+        Number of recent fingerprints remembered per account.
+    distance_threshold:
+        Mean-absolute-difference below which two queries count as
+        near-duplicates (in [0,1] pixel units).
+    flag_after:
+        Number of near-duplicate hits before the account is flagged.
+    """
+
+    def __init__(self, window: int = 50, distance_threshold: float = 0.05,
+                 flag_after: int = 10) -> None:
+        if window < 1 or flag_after < 1:
+            raise ValueError("window and flag_after must be positive")
+        self.window = int(window)
+        self.distance_threshold = float(distance_threshold)
+        self.flag_after = int(flag_after)
+        self._history: dict[str, deque] = defaultdict(
+            lambda: deque(maxlen=self.window))
+        self._hits: dict[str, int] = defaultdict(int)
+        self.flagged: set[str] = set()
+
+    def observe(self, account: str, video: Video) -> bool:
+        """Record one query; returns True when the account is now flagged."""
+        fingerprint = query_fingerprint(video)
+        history = self._history[account]
+        for previous in history:
+            distance = float(np.abs(fingerprint - previous).mean())
+            if distance < self.distance_threshold:
+                self._hits[account] += 1
+                break
+        history.append(fingerprint)
+        if self._hits[account] >= self.flag_after:
+            self.flagged.add(account)
+        return account in self.flagged
+
+    def is_flagged(self, account: str) -> bool:
+        """Whether the account has been flagged so far."""
+        return account in self.flagged
+
+    def hit_count(self, account: str) -> int:
+        """Near-duplicate hits recorded for an account."""
+        return self._hits[account]
+
+    def wrap_service(self, service, account: str):
+        """Return a query function that feeds the detector transparently."""
+        def query(video: Video, m: int | None = None):
+            self.observe(account, video)
+            return service.query(video, m)
+        return query

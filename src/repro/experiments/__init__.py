@@ -1,0 +1,30 @@
+"""Experiment runners — one per table/figure of the paper's evaluation.
+
+Each runner builds (or loads from the on-disk fixture cache) the victim
+systems and surrogates it needs, executes the attack grid, and returns a
+:class:`~repro.experiments.report.TableResult` whose ``format()`` prints
+rows shaped like the paper's tables.  See DESIGN.md §4 for the
+experiment ↔ module ↔ bench mapping and §5 for the scale mapping.
+"""
+
+from repro.experiments.config import ExperimentScale, DEFAULT_SCALE, QUICK_SCALE
+from repro.experiments.report import TableResult
+from repro.experiments import fixtures
+from repro.experiments import paper_reference
+from repro.experiments.protocol import (
+    AttackOutcome,
+    evaluate_attack,
+    without_attack_ap,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "DEFAULT_SCALE",
+    "QUICK_SCALE",
+    "TableResult",
+    "fixtures",
+    "paper_reference",
+    "AttackOutcome",
+    "evaluate_attack",
+    "without_attack_ap",
+]

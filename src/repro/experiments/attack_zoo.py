@@ -1,0 +1,109 @@
+"""Attack factories shared by the experiment runners.
+
+Centralizes how each named attack of the paper's tables is instantiated
+from an :class:`ExperimentScale`, a victim, and surrogates, so that every
+table compares identically configured attacks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.attacks.base import Attack
+from repro.attacks.duo import DUOAttack
+from repro.attacks.heu import HeuNesAttack, HeuSimAttack
+from repro.attacks.timi import TIMIAttack
+from repro.attacks.vanilla import VanillaAttack
+from repro.experiments.config import ExperimentScale
+from repro.models.feature_extractor import FeatureExtractor
+from repro.training.victim import VictimSystem
+from repro.utils.seeding import SeedSequence
+
+#: Row order used by Table II.
+ATTACK_ROWS = (
+    "timi-c3d",
+    "timi-res18",
+    "heu-nes",
+    "heu-sim",
+    "vanilla",
+    "duo-c3d",
+    "duo-res18",
+)
+
+
+def attack_factory(name: str, victim: VictimSystem,
+                   surrogates: dict[str, FeatureExtractor],
+                   scale: ExperimentScale, k: int,
+                   **overrides) -> Callable[[int], Attack]:
+    """Return a per-pair factory for the named attack.
+
+    ``surrogates`` maps surrogate backbone names (``"c3d"``, ``"resnet18"``)
+    to trained extractors.  ``overrides`` tweak individual attack knobs
+    (used by the sweep tables, e.g. ``n=…``, ``tau=…``, ``iter_num_h=…``).
+    """
+    seeds = SeedSequence(scale.seed)
+    params = dict(
+        n=scale.n, tau=scale.tau, k=k,
+        iter_num_q=scale.iter_num_q, iter_num_h=scale.iter_num_h,
+        constraint="linf",
+    )
+    params.update(overrides)
+
+    def rng_for(pair: int):
+        return seeds.rng("attack", name, pair)
+
+    if name.startswith("duo-"):
+        surrogate = surrogates[_surrogate_key(name)]
+
+        def make(pair: int) -> Attack:
+            return DUOAttack(
+                surrogate, victim.service, k=params["k"], n=params["n"],
+                tau=params["tau"], iter_num_q=params["iter_num_q"],
+                iter_num_h=params["iter_num_h"],
+                constraint=params["constraint"],
+                transfer_outer_iters=scale.transfer_outer_iters,
+                theta_steps=scale.theta_steps, rng=rng_for(pair),
+            )
+        return make
+
+    if name.startswith("timi-"):
+        surrogate = surrogates[_surrogate_key(name)]
+
+        def make(pair: int) -> Attack:
+            return TIMIAttack(surrogate, tau=params["tau"],
+                              iterations=scale.timi_iterations)
+        return make
+
+    if name == "vanilla":
+        def make(pair: int) -> Attack:
+            return VanillaAttack(
+                victim.service, k=params["k"], n=params["n"],
+                tau=params["tau"], iterations=scale.query_iterations,
+                rng=rng_for(pair),
+            )
+        return make
+
+    if name == "heu-nes":
+        def make(pair: int) -> Attack:
+            return HeuNesAttack(
+                victim.service, k=params["k"], n=params["n"],
+                tau=params["tau"], iterations=scale.nes_iterations,
+                samples=scale.nes_samples, rng=rng_for(pair),
+            )
+        return make
+
+    if name == "heu-sim":
+        def make(pair: int) -> Attack:
+            return HeuSimAttack(
+                victim.service, k=params["k"], n=params["n"],
+                tau=params["tau"], iterations=scale.query_iterations,
+                rng=rng_for(pair),
+            )
+        return make
+
+    raise KeyError(f"unknown attack {name!r}; known: {ATTACK_ROWS}")
+
+
+def _surrogate_key(attack_name: str) -> str:
+    suffix = attack_name.split("-", 1)[1]
+    return {"c3d": "c3d", "res18": "resnet18"}[suffix]

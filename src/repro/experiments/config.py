@@ -1,0 +1,110 @@
+"""Experiment scale configuration.
+
+The paper's setup (112×112×16 clips, 9,324-video galleries, 1,000-query
+attacks on 8 GPUs) is mapped to a CPU-scale working point that preserves
+the regime the attacks operate in — see DESIGN.md §5.  Every field can be
+overridden per run; :data:`QUICK_SCALE` exists for tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All knobs of the reproduction working point."""
+
+    # ---------------- dataset ----------------
+    height: int = 24
+    width: int = 24
+    num_frames: int = 8  # paper: 16 (halved; frame budgets keep the ratio)
+    #: per-dataset (num_classes, train_videos, test_videos)
+    dataset_sizes: tuple = (
+        ("ucf101", 40, 320, 40),
+        ("hmdb51", 24, 192, 24),
+    )
+
+    # ---------------- victim ----------------
+    feature_dim: int = 32  # paper: 768
+    model_width: int = 4
+    victim_epochs: int = 2
+    m: int = 20  # returned-list length
+    num_nodes: int = 4  # distributed gallery shards
+
+    # ---------------- surrogate ----------------
+    surrogate_rounds: int = 4  # Z in Section IV-B-1
+    surrogate_branch: int = 3  # M in Section IV-B-1
+    surrogate_epochs: int = 4
+    surrogate_feature_dim: int = 32
+
+    # ---------------- attack ----------------
+    n: int = 6  # frame budget (of num_frames)
+    k_fraction: float = 0.4  # pixel budget as a fraction of N·H·W·C
+    tau: float = 30.0  # ℓ∞ budget in 8-bit units
+    iter_num_q: int = 120
+    iter_num_h: int = 2
+    transfer_outer_iters: int = 2
+    theta_steps: int = 6
+    timi_iterations: int = 10
+    nes_iterations: int = 30
+    nes_samples: int = 4
+    query_iterations: int = 240  # SimBA budget for Vanilla/HEU-Sim
+
+    # ---------------- protocol ----------------
+    pairs: int = 3  # paper: 10 attack pairs
+    seed: int = 0
+
+    # -------------------------------------------------------------- #
+    def dataset_size(self, name: str) -> tuple[int, int, int]:
+        """Return (num_classes, train, test) for a dataset name."""
+        for ds_name, classes, train, test in self.dataset_sizes:
+            if ds_name == name:
+                return classes, train, test
+        raise KeyError(f"no size configured for dataset {name!r}")
+
+    def k_for(self, total_values: int) -> int:
+        """Absolute pixel budget ``k`` for a video of ``total_values``."""
+        return max(1, int(round(self.k_fraction * total_values)))
+
+    def replace(self, **overrides) -> "ExperimentScale":
+        """Return a copy with fields overridden."""
+        return dataclasses.replace(self, **overrides)
+
+    def cache_key(self, *extra: object) -> str:
+        """Stable hash of the configuration (for fixture caching)."""
+        payload = dataclasses.asdict(self)
+        payload["extra"] = [str(item) for item in extra]
+        blob = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+#: The standard working point used by benchmarks.
+DEFAULT_SCALE = ExperimentScale()
+
+#: A minimal configuration for fast tests.
+QUICK_SCALE = ExperimentScale(
+    height=16,
+    width=16,
+    dataset_sizes=(
+        ("ucf101", 8, 48, 12),
+        ("hmdb51", 6, 36, 10),
+    ),
+    feature_dim=16,
+    victim_epochs=1,
+    m=12,
+    surrogate_rounds=2,
+    surrogate_branch=2,
+    surrogate_epochs=1,
+    iter_num_q=20,
+    iter_num_h=1,
+    transfer_outer_iters=1,
+    theta_steps=3,
+    timi_iterations=3,
+    nes_iterations=5,
+    query_iterations=40,
+    pairs=1,
+)

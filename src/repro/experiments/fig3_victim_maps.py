@@ -1,0 +1,43 @@
+"""Figure 3: mAPs of victim retrieval systems (backbone × loss × dataset)."""
+
+from __future__ import annotations
+
+from repro.experiments import fixtures
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.report import TableResult
+from repro.losses.registry import METRIC_LOSSES
+from repro.metrics.ranking import evaluate_map
+from repro.models.registry import VICTIM_BACKBONES
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE,
+        datasets: tuple[str, ...] = ("ucf101", "hmdb51"),
+        backbones: tuple[str, ...] = VICTIM_BACKBONES,
+        losses: tuple[str, ...] = METRIC_LOSSES,
+        max_queries: int | None = None) -> TableResult:
+    """Train every victim combination and measure retrieval mAP.
+
+    ``max_queries`` limits the number of test queries per cell (speed).
+    """
+    table = TableResult(
+        "Figure 3 — victim mAP by backbone and loss",
+        ["dataset", "backbone", "loss", "mAP"],
+    )
+    from repro.experiments.plotting import ascii_bar_chart
+
+    for dataset_name in datasets:
+        dataset = fixtures.dataset_for(dataset_name, scale)
+        queries = dataset.test if max_queries is None else \
+            dataset.test[:max_queries]
+        labels, values = [], []
+        for backbone in backbones:
+            for loss in losses:
+                victim = fixtures.victim_for(dataset, backbone, loss, scale)
+                value = evaluate_map(victim.engine, queries, m=scale.m)
+                table.add_row(dataset_name, backbone, loss, value)
+                labels.append(f"{backbone}/{loss}")
+                values.append(value)
+        table.appendix.append(
+            ascii_bar_chart(labels, values, title=f"mAP — {dataset_name}")
+        )
+    return table

@@ -1,0 +1,52 @@
+"""Figure 4: surrogate mAP vs stolen-dataset size and feature dimension.
+
+The paper's surrogate-dataset sizes [165, 1111, 3616, 8421] map to
+stealing rounds (each round expands the crawl) and the output feature
+sizes [256, 512, 768, 1024] map to scaled dimensions.  Surrogate quality
+is measured, as in the paper, by the surrogate's own retrieval mAP over
+the gallery.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fixtures
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.report import TableResult
+from repro.metrics.ranking import evaluate_map
+from repro.retrieval.engine import RetrievalEngine
+
+#: Scaled analogues of the paper's sweep axes.
+ROUNDS_SWEEP = (1, 2, 4, 8)
+FEATURE_SWEEP = (16, 32, 64)
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE,
+        datasets: tuple[str, ...] = ("ucf101", "hmdb51"),
+        backbone: str = "c3d",
+        rounds_sweep: tuple[int, ...] = ROUNDS_SWEEP,
+        feature_sweep: tuple[int, ...] = FEATURE_SWEEP,
+        victim_backbone: str = "i3d", victim_loss: str = "arcface",
+        max_queries: int = 16) -> TableResult:
+    """Sweep stealing rounds × feature size; report surrogate mAP."""
+    table = TableResult(
+        "Figure 4 — surrogate mAP vs stolen-set size and feature size",
+        ["dataset", "rounds", "stolen_samples", "feature_dim", "mAP"],
+    )
+    for dataset_name in datasets:
+        dataset = fixtures.dataset_for(dataset_name, scale)
+        victim = fixtures.victim_for(dataset, victim_backbone, victim_loss, scale)
+        queries = dataset.test[:max_queries]
+        for rounds in rounds_sweep:
+            for feature_dim in feature_sweep:
+                surrogate = fixtures.surrogate_for(
+                    dataset, victim, backbone, scale,
+                    rounds=rounds, feature_dim=feature_dim,
+                )
+                engine = RetrievalEngine(surrogate, num_nodes=1)
+                engine.index_videos(dataset.train)
+                value = evaluate_map(engine, queries, m=scale.m)
+                # Approximate sample count: each crawl round touches
+                # 1 + branch queries of m results each.
+                samples = rounds * (1 + scale.surrogate_branch) * scale.m
+                table.add_row(dataset_name, rounds, samples, feature_dim, value)
+    return table

@@ -1,0 +1,78 @@
+"""Dependency-free ASCII rendering of the paper's figures.
+
+No matplotlib is available offline, so the figure runners can render
+their series as terminal plots: :func:`ascii_line_chart` for Figure 5's
+T-vs-queries curves and :func:`ascii_bar_chart` for Figure 3/4's grouped
+bars.  Output is deterministic and fits a standard terminal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_bar_chart(labels: list[str], values: list[float], width: int = 50,
+                    title: str = "") -> str:
+    """Horizontal bar chart; one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return title
+    peak = max(max(values), 1e-12)
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(width * value / peak))
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:.3f}")
+    return "\n".join(lines)
+
+
+def ascii_line_chart(series: dict[str, list[float]], height: int = 12,
+                     width: int = 64, title: str = "",
+                     y_label: str = "") -> str:
+    """Multi-series line chart on a character grid.
+
+    Each named series is resampled to ``width`` columns and drawn with
+    its own glyph; a legend maps glyphs to names.
+    """
+    if not series:
+        return title
+    flat = [v for values in series.values() for v in values if np.isfinite(v)]
+    if not flat:
+        return title
+    low, high = min(flat), max(flat)
+    if high - low < 1e-12:
+        high = low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            continue
+        columns = np.linspace(0, values.size - 1, width)
+        resampled = np.interp(columns, np.arange(values.size), values)
+        for x, value in enumerate(resampled):
+            if not np.isfinite(value):
+                continue
+            y = int(round((high - value) / (high - low) * (height - 1)))
+            grid[min(max(y, 0), height - 1)][x] = glyph
+
+    lines = [title] if title else []
+    if y_label:
+        lines.append(f"{y_label}: {low:.3f} (bottom) … {high:.3f} (top)")
+    top_axis = f"{high:8.3f} ┤"
+    bottom_axis = f"{low:8.3f} ┤"
+    pad = " " * 9 + "│"
+    for row_index, row in enumerate(grid):
+        prefix = top_axis if row_index == 0 else (
+            bottom_axis if row_index == height - 1 else pad)
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 10 + "└" + "─" * width)
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Plain-text table formatting for experiment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TableResult:
+    """A named result table: headers plus ordered rows of cells."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    #: Verbatim blocks rendered after the table (e.g. ASCII charts).
+    appendix: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def column(self, header: str) -> list[object]:
+        """Extract one column by header name."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def format(self) -> str:
+        """Render the table as aligned plain text."""
+        def render(cell: object) -> str:
+            if isinstance(cell, float):
+                return f"{cell:.3f}"
+            return str(cell)
+
+        grid = [self.headers] + [[render(c) for c in row] for row in self.rows]
+        widths = [max(len(row[i]) for row in grid) for i in range(len(self.headers))]
+        lines = [self.title, "-" * len(self.title)]
+        for row_index, row in enumerate(grid):
+            lines.append("  ".join(cell.ljust(widths[i])
+                                   for i, cell in enumerate(row)))
+            if row_index == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        for block in self.appendix:
+            lines.append("")
+            lines.append(block)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()

@@ -1,0 +1,85 @@
+"""Regenerate every table and figure from the command line.
+
+Usage::
+
+    python -m repro.experiments.run_all                # full grid
+    python -m repro.experiments.run_all --quick        # smoke scale
+    python -m repro.experiments.run_all table2 fig5    # subset
+    python -m repro.experiments.run_all --out results  # output directory
+
+Formatted tables are printed and written to ``<out>/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import DEFAULT_SCALE, QUICK_SCALE
+from repro.experiments import (
+    fig3_victim_maps,
+    fig4_surrogate_maps,
+    fig5_query_curves,
+    table2_attack_comparison,
+    table3_surrogate_size,
+    table4_victim_loss,
+    table5_k_sweep,
+    table6_n_sweep,
+    table7_tau_sweep,
+    table8_iternumh,
+    table9_transferability,
+    table10_defenses,
+)
+
+RUNNERS = {
+    "fig3": fig3_victim_maps.run,
+    "fig4": fig4_surrogate_maps.run,
+    "table2": table2_attack_comparison.run,
+    "table3": table3_surrogate_size.run,
+    "table4": table4_victim_loss.run,
+    "table5": table5_k_sweep.run,
+    "table6": table6_n_sweep.run,
+    "fig5": fig5_query_curves.run,
+    "table7": table7_tau_sweep.run,
+    "table8": table8_iternumh.run,
+    "table9": table9_transferability.run,
+    "table10": table10_defenses.run,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        help=f"subset to run (default: all of {sorted(RUNNERS)})")
+    parser.add_argument("--quick", action="store_true",
+                        help="use the smoke-test scale")
+    parser.add_argument("--out", default="results",
+                        help="output directory for formatted tables")
+    args = parser.parse_args(argv)
+
+    names = args.experiments or list(RUNNERS)
+    unknown = [name for name in names if name not in RUNNERS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; "
+                     f"available: {sorted(RUNNERS)}")
+
+    scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        start = time.perf_counter()
+        table = RUNNERS[name](scale)
+        elapsed = time.perf_counter() - start
+        text = table.format()
+        print(f"\n{text}\n[{name} finished in {elapsed:.1f}s]")
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

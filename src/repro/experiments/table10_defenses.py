@@ -1,0 +1,71 @@
+"""Table X: attack detection rate (%) of two defenses.
+
+Feature squeezing [26] and Noise2Self [27] detectors are calibrated on
+clean queries at a fixed false-positive budget, then applied to the AEs
+each attack produces.  Paper finding: sparse attacks (DUO, HEU) evade
+feature squeezing far better than Vanilla; TIMI's smooth dense
+perturbations evade Noise2Self best.
+"""
+
+from __future__ import annotations
+
+from repro.defenses.detector import SqueezeDetector, detection_rate
+from repro.defenses.feature_squeezing import FeatureSqueezer
+from repro.defenses.noise2self import Noise2SelfDenoiser
+from repro.experiments import fixtures
+from repro.experiments.attack_zoo import ATTACK_ROWS, attack_factory
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.protocol import attack_pairs, evaluate_attack
+from repro.experiments.report import TableResult
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE,
+        datasets: tuple[str, ...] = ("ucf101", "hmdb51"),
+        attacks: tuple[str, ...] = ATTACK_ROWS,
+        victim_backbone: str = "i3d", victim_loss: str = "arcface",
+        calibration_queries: int = 12,
+        false_positive_rate: float = 0.05) -> TableResult:
+    """Measure per-attack detection rates under both defenses."""
+    table = TableResult(
+        "Table X — attack detection rate of two defenses",
+        ["dataset", "attack", "feature_squeezing", "noise2self"],
+    )
+    for dataset_name in datasets:
+        dataset = fixtures.dataset_for(dataset_name, scale)
+        victim = fixtures.victim_for(dataset, victim_backbone, victim_loss,
+                                     scale)
+        pairs = attack_pairs(dataset, scale)
+        k = scale.k_for(pairs[0][0].pixels.size)
+        surrogates = {
+            "c3d": fixtures.surrogate_for(dataset, victim, "c3d", scale),
+            "resnet18": fixtures.surrogate_for(dataset, victim, "resnet18",
+                                               scale),
+        }
+        clean = dataset.test[:calibration_queries]
+        detectors = {
+            "feature_squeezing": SqueezeDetector(
+                victim.engine, FeatureSqueezer(), m=scale.m),
+            "noise2self": SqueezeDetector(
+                victim.engine, Noise2SelfDenoiser(), m=scale.m),
+        }
+        for detector in detectors.values():
+            detector.fit(clean, false_positive_rate=false_positive_rate)
+
+        for attack_name in attacks:
+            overrides = {}
+            if attack_name.startswith("timi-"):
+                overrides["n"] = scale.num_frames
+            factory = attack_factory(attack_name, victim, surrogates, scale,
+                                     k, **overrides)
+            outcome = evaluate_attack(factory, victim, pairs,
+                                      keep_results=True)
+            adversarials = [result.adversarial for result in outcome.results]
+            table.add_row(
+                dataset_name, attack_name,
+                100.0 * detection_rate(detectors["feature_squeezing"],
+                                       adversarials),
+                100.0 * detection_rate(detectors["noise2self"], adversarials),
+            )
+    table.notes.append("rates in percent; detectors calibrated at "
+                       "5% false-positive rate on clean queries")
+    return table

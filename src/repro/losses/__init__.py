@@ -1,0 +1,22 @@
+"""Metric-learning losses used to train victim and surrogate models.
+
+The paper trains victim retrieval models with ArcFaceLoss [50],
+LiftedLoss [51], or AngularLoss [52], and trains the surrogate with a
+ranked triplet loss over stolen retrieval lists (Section IV-B-1).
+"""
+
+from repro.losses.triplet import RankedListTripletLoss, triplet_margin_loss
+from repro.losses.arcface import ArcFaceLoss
+from repro.losses.lifted import LiftedLoss
+from repro.losses.angular import AngularLoss
+from repro.losses.registry import create_loss, METRIC_LOSSES
+
+__all__ = [
+    "RankedListTripletLoss",
+    "triplet_margin_loss",
+    "ArcFaceLoss",
+    "LiftedLoss",
+    "AngularLoss",
+    "create_loss",
+    "METRIC_LOSSES",
+]

@@ -1,0 +1,55 @@
+"""Angular loss for deep metric learning (Wang et al. / tuplet-margin family)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Module, Tensor, stack
+from repro.nn import functional as F
+
+
+class AngularLoss(Module):
+    """N-pair-style angular loss with degree bound ``alpha``.
+
+    For each (anchor, positive) pair and every negative ``n`` of the
+    anchor class:
+
+    .. math::
+       f = 4\\tan^2\\alpha\\,(a + p)^\\top n - 2(1 + \\tan^2\\alpha)\\,a^\\top p
+
+    and the loss is ``mean log(1 + Σ_n e^f)`` over pairs.
+    """
+
+    def __init__(self, alpha_degrees: float = 40.0) -> None:
+        super().__init__()
+        self.alpha = float(np.deg2rad(alpha_degrees))
+        self._tan_sq = float(np.tan(self.alpha) ** 2)
+
+    def forward(self, embeddings: Tensor, labels: np.ndarray) -> Tensor:
+        labels = np.asarray(labels)
+        batch = embeddings.shape[0]
+        normalized = F.l2_normalize(embeddings, axis=1)
+
+        same = labels[:, None] == labels[None, :]
+        positive_mask = same & ~np.eye(batch, dtype=bool)
+
+        losses = []
+        for i in range(batch):
+            positives = np.flatnonzero(positive_mask[i])
+            negatives = np.flatnonzero(~same[i])
+            if positives.size == 0 or negatives.size == 0:
+                continue
+            j = int(positives[0])
+            anchor = normalized[i]
+            positive = normalized[j]
+            neg = normalized[negatives]  # (n, D)
+            ap_term = (anchor * positive).sum() * (2.0 * (1.0 + self._tan_sq))
+            an_term = (neg @ (anchor + positive)) * (4.0 * self._tan_sq)
+            f = an_term - ap_term
+            # Stable log(1 + Σ e^f) via shift by the max exponent.
+            shift = float(max(np.max(f.data), 0.0))
+            shifted_sum = (f - shift).exp().sum() + float(np.exp(-shift))
+            losses.append(shifted_sum.log() + shift)
+        if not losses:
+            return Tensor(np.zeros(()), requires_grad=False)
+        return stack(losses).mean()

@@ -1,0 +1,51 @@
+"""ArcFace: additive angular margin loss (Deng et al., CVPR'19)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Module, Tensor
+from repro.nn import functional as F
+from repro.nn.modules import Parameter
+from repro.nn import init
+from repro.utils.seeding import seeded_rng
+
+
+class ArcFaceLoss(Module):
+    """Classification-style metric loss with an additive angular margin.
+
+    Holds one learnable prototype per class; embeddings and prototypes are
+    ℓ2-normalized, the target logit's angle is increased by ``margin``,
+    and all logits are scaled by ``scale`` before softmax cross-entropy.
+    """
+
+    def __init__(self, num_classes: int, feature_dim: int, margin: float = 0.3,
+                 scale: float = 16.0, rng=None) -> None:
+        super().__init__()
+        rng = seeded_rng(rng)
+        self.num_classes = int(num_classes)
+        self.feature_dim = int(feature_dim)
+        self.margin = float(margin)
+        self.scale = float(scale)
+        self.prototypes = Parameter(
+            init.xavier_uniform((num_classes, feature_dim), feature_dim,
+                                num_classes, rng=rng)
+        )
+
+    def forward(self, embeddings: Tensor, labels: np.ndarray) -> Tensor:
+        """Loss over a batch of ``(B, D)`` embeddings and integer labels."""
+        labels = np.asarray(labels)
+        normalized_emb = F.l2_normalize(embeddings, axis=1)
+        normalized_proto = F.l2_normalize(self.prototypes, axis=1)
+        cosine = normalized_emb @ normalized_proto.transpose(1, 0)  # (B, K)
+        cosine = cosine.clip(-1.0 + 1e-7, 1.0 - 1e-7)
+
+        # Add the angular margin only on the target logit:
+        # cos(θ + m) = cosθ·cos m − sinθ·sin m.
+        sine = (1.0 - cosine * cosine).clip(1e-12, None).sqrt()
+        cos_margined = cosine * np.cos(self.margin) - sine * np.sin(self.margin)
+        one_hot = np.zeros(cosine.shape)
+        one_hot[np.arange(len(labels)), labels] = 1.0
+        mask = Tensor(one_hot)
+        logits = (mask * cos_margined + (1.0 - one_hot) * cosine) * self.scale
+        return F.cross_entropy(logits, labels)

@@ -1,0 +1,70 @@
+"""Lifted structured embedding loss (Oh Song et al., CVPR'16)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Module, Tensor
+from repro.nn import functional as F
+
+
+class LiftedLoss(Module):
+    """Smooth lifted-structure loss over all pairs in a batch.
+
+    For every positive pair ``(i, j)`` the loss log-sum-exps the margins
+    against *all* negatives of both endpoints:
+
+    .. math::
+       \\tfrac{1}{2|P|}\\sum_{(i,j)\\in P}
+       \\big[\\log\\big(\\sum_{k\\in N_i} e^{m - D_{ik}}
+       + \\sum_{k\\in N_j} e^{m - D_{jk}}\\big) + D_{ij}\\big]_+^2
+    """
+
+    def __init__(self, margin: float = 1.0) -> None:
+        super().__init__()
+        self.margin = float(margin)
+
+    def forward(self, embeddings: Tensor, labels: np.ndarray) -> Tensor:
+        labels = np.asarray(labels)
+        batch = embeddings.shape[0]
+        distances = F.pairwise_squared_distances(embeddings, embeddings)
+        distances = (distances + 1e-12).sqrt()
+
+        same = labels[:, None] == labels[None, :]
+        positive_mask = same & ~np.eye(batch, dtype=bool)
+        negative_mask = ~same
+
+        pos_pairs = [(i, j) for i in range(batch) for j in range(i + 1, batch)
+                     if positive_mask[i, j]]
+        if not pos_pairs or not negative_mask.any():
+            return Tensor(np.zeros(()), requires_grad=False)
+
+        # Negative log-sum-exp terms per anchor, computed once.
+        neg_terms: dict[int, Tensor] = {}
+        for i in {idx for pair in pos_pairs for idx in pair}:
+            columns = np.flatnonzero(negative_mask[i])
+            if columns.size == 0:
+                continue
+            exp_margins = (self.margin - distances[i, columns]).exp()
+            neg_terms[i] = exp_margins.sum()
+
+        losses = []
+        for i, j in pos_pairs:
+            terms = []
+            if i in neg_terms:
+                terms.append(neg_terms[i])
+            if j in neg_terms:
+                terms.append(neg_terms[j])
+            if not terms:
+                continue
+            total = terms[0]
+            if len(terms) == 2:
+                total = total + terms[1]
+            hinge = ((total + 1e-12).log() + distances[i, j]).clip(0.0, None)
+            losses.append(hinge * hinge)
+        if not losses:
+            return Tensor(np.zeros(()), requires_grad=False)
+        acc = losses[0]
+        for item in losses[1:]:
+            acc = acc + item
+        return acc / float(2 * len(losses))

@@ -1,0 +1,26 @@
+"""Loss registry mirroring the paper's victim-training options."""
+
+from __future__ import annotations
+
+from repro.losses.angular import AngularLoss
+from repro.losses.arcface import ArcFaceLoss
+from repro.losses.lifted import LiftedLoss
+
+#: Loss names as used in the paper's tables.
+METRIC_LOSSES = ("arcface", "lifted", "angular")
+
+
+def create_loss(name: str, num_classes: int, feature_dim: int, rng=None):
+    """Instantiate a metric loss by paper name.
+
+    ArcFace carries learnable per-class prototypes and therefore needs
+    ``num_classes``/``feature_dim``; pair-based losses ignore them.
+    """
+    key = name.lower().replace("loss", "")
+    if key == "arcface":
+        return ArcFaceLoss(num_classes, feature_dim, rng=rng)
+    if key == "lifted":
+        return LiftedLoss()
+    if key == "angular":
+        return AngularLoss()
+    raise KeyError(f"unknown loss {name!r}; available: {METRIC_LOSSES}")

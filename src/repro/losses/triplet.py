@@ -1,0 +1,68 @@
+"""Triplet losses.
+
+Two flavours are provided:
+
+* :func:`triplet_margin_loss` — classic (anchor, positive, negative)
+  margin loss on embeddings.
+* :class:`RankedListTripletLoss` — the paper's surrogate-training loss
+  (Section IV-B-1):
+
+  .. math::
+     \\sum_{j>i} [D(v, v_j) - D(v, v_i) + \\gamma]_+
+
+  where ``v_i`` precedes ``v_j`` in a stolen retrieval list, so the
+  surrogate learns to reproduce the victim's ranking geometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def triplet_margin_loss(anchor: Tensor, positive: Tensor, negative: Tensor,
+                        margin: float = 0.2) -> Tensor:
+    """Hinge on squared distances: ``[D(a,p) − D(a,n) + margin]_+`` averaged."""
+    d_pos = ((anchor - positive) ** 2).sum(axis=1)
+    d_neg = ((anchor - negative) ** 2).sum(axis=1)
+    return (d_pos - d_neg + margin).clip(0.0, None).mean()
+
+
+class RankedListTripletLoss:
+    """Paper Eq. (surrogate): push ranked lists into distance order.
+
+    Given the embedding of a query and the embeddings of its returned list
+    (victim order, most similar first), penalizes every pair ``(i, j)``
+    with ``i < j`` whose distances violate the order by margin ``γ``.
+    """
+
+    def __init__(self, margin: float = 0.2) -> None:
+        self.margin = float(margin)
+
+    def __call__(self, query_embedding: Tensor, list_embeddings: Tensor) -> Tensor:
+        """Compute the loss.
+
+        Parameters
+        ----------
+        query_embedding:
+            ``(D,)`` or ``(1, D)`` embedding of the query video ``v``.
+        list_embeddings:
+            ``(m, D)`` embeddings of the returned videos, best first.
+        """
+        if query_embedding.ndim == 1:
+            query_embedding = query_embedding.reshape(1, -1)
+        diffs = list_embeddings - query_embedding
+        distances = (diffs * diffs).sum(axis=1)  # (m,)
+        m = distances.shape[0]
+        if m < 2:
+            return Tensor(np.zeros(()), requires_grad=False)
+        terms = []
+        for i in range(m - 1):
+            # D(v, v_j) should exceed D(v, v_i) for all j > i.
+            violation = distances[i] - distances[i + 1 :] + self.margin
+            terms.append(violation.clip(0.0, None).sum())
+        total = terms[0]
+        for term in terms[1:]:
+            total = total + term
+        return total / float(m * (m - 1) / 2)

@@ -1,0 +1,40 @@
+"""Evaluation metrics from the paper (Section V-A) plus attack internals.
+
+* :func:`mean_average_precision` / :func:`average_precision` — retrieval
+  quality of a victim system (paper's mAP).
+* :func:`ap_at_m` — list agreement between ``R^m(v_adv)`` and ``R^m(v_t)``
+  (paper's AP@m).
+* :func:`sparsity` (Spa) and :func:`pscore` — perturbation stealthiness.
+* :func:`ndcg_similarity` — the probability-style co-occurrence similarity
+  ``H`` used inside the SparseQuery objective (Eq. 2).
+"""
+
+from repro.metrics.ranking import (
+    average_precision,
+    mean_average_precision,
+    ap_at_m,
+    evaluate_map,
+)
+from repro.metrics.perturbation import (
+    sparsity,
+    pscore,
+    perturbed_frames,
+    linf_norm,
+    perturbation_summary,
+    PerturbationStats,
+)
+from repro.metrics.similarity import ndcg_similarity
+
+__all__ = [
+    "average_precision",
+    "mean_average_precision",
+    "ap_at_m",
+    "evaluate_map",
+    "sparsity",
+    "pscore",
+    "perturbed_frames",
+    "linf_norm",
+    "perturbation_summary",
+    "PerturbationStats",
+    "ndcg_similarity",
+]

@@ -1,0 +1,64 @@
+"""Perturbation stealthiness metrics: Spa, PScore, ℓ∞, frame count."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Values below this magnitude count as "unperturbed" — absorbs float fuzz
+#: from clipping at the [0, 1] boundary.
+ZERO_TOLERANCE = 1e-9
+
+
+def sparsity(perturbation: np.ndarray, tolerance: float = ZERO_TOLERANCE) -> int:
+    """Spa: number of non-zero perturbation values ``Σ_i ‖φ_i‖₀``.
+
+    Matches the paper's accounting where a fully dense attack on a
+    16×112×112×3 video reports Spa = 602,112.
+    """
+    return int(np.count_nonzero(np.abs(perturbation) > tolerance))
+
+
+def pscore(perturbation: np.ndarray, scale: float = 255.0) -> float:
+    """PScore: mean absolute perturbation, reported in 8-bit units.
+
+    The paper's videos live in [0, 255]; ours live in [0, 1], so the
+    default ``scale=255`` makes the numbers comparable to Table II.
+    """
+    return float(np.abs(perturbation).mean() * scale)
+
+
+def perturbed_frames(perturbation: np.ndarray,
+                     tolerance: float = ZERO_TOLERANCE) -> int:
+    """``‖φ‖_{2,0}``: number of frames carrying any perturbation."""
+    if perturbation.ndim != 4:
+        raise ValueError(f"expected (N, H, W, C) perturbation, got {perturbation.shape}")
+    frame_energy = np.abs(perturbation).reshape(perturbation.shape[0], -1).max(axis=1)
+    return int(np.count_nonzero(frame_energy > tolerance))
+
+
+def linf_norm(perturbation: np.ndarray) -> float:
+    """``‖φ‖_∞``: largest absolute per-value perturbation."""
+    return float(np.abs(perturbation).max()) if perturbation.size else 0.0
+
+
+@dataclass(frozen=True)
+class PerturbationStats:
+    """Bundle of all stealthiness numbers for one adversarial example."""
+
+    spa: int
+    pscore: float
+    frames: int
+    linf: float
+
+
+def perturbation_summary(perturbation: np.ndarray,
+                         scale: float = 255.0) -> PerturbationStats:
+    """Compute every stealthiness metric at once."""
+    return PerturbationStats(
+        spa=sparsity(perturbation),
+        pscore=pscore(perturbation, scale=scale),
+        frames=perturbed_frames(perturbation),
+        linf=linf_norm(perturbation),
+    )

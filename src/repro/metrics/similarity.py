@@ -1,0 +1,38 @@
+"""NDCG-style retrieval-list similarity ``H`` (paper Eq. 2 ingredient).
+
+``H(R^m(v), R^m(v'))`` captures "the co-occurrence probability that a
+returned video shows up in both lists", discounting co-occurrences by
+their rank in the first list, as in the QAIR attack objective [10].
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def ndcg_similarity(list_a: Sequence[str], list_b: Sequence[str]) -> float:
+    """Rank-discounted overlap between two id lists, in ``[0, 1]``.
+
+    A video at rank ``i`` in ``list_a`` and rank ``j`` in ``list_b``
+    contributes ``1 / (log2(i+1) · log2(j+1))``; the total is normalized
+    by the ideal (identical lists), so identical lists score 1 and
+    disjoint lists 0.  Discounting by *both* ranks makes the similarity
+    sensitive to rank swaps, not just membership — the fine-grained signal
+    the query attack climbs.
+    """
+    ids_a = list(list_a)
+    ids_b = list(list_b)
+    if not ids_a or not ids_b:
+        return 0.0
+    rank_b = {video_id: j for j, video_id in enumerate(ids_b, start=1)}
+    gains = 0.0
+    ideal = 0.0
+    for rank, video_id in enumerate(ids_a, start=1):
+        discount = 1.0 / np.log2(rank + 1.0)
+        ideal += discount * discount
+        j = rank_b.get(video_id)
+        if j is not None:
+            gains += discount / np.log2(j + 1.0)
+    return float(gains / ideal)

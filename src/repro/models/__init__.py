@@ -1,0 +1,33 @@
+"""Video feature-extraction backbones and the retrieval feature head.
+
+The paper evaluates four victim backbones (I3D, TPN, SlowFast, ResNet34)
+and two surrogate backbones (C3D, ResNet18).  Each is implemented here at
+configurable width, preserving its defining architectural motif — see
+DESIGN.md §2 for the scale substitution.
+"""
+
+from repro.models.base import VideoBackbone
+from repro.models.c3d import C3D
+from repro.models.resnet import ResNetLSTM, resnet18, resnet34
+from repro.models.i3d import I3D
+from repro.models.tpn import TPN
+from repro.models.slowfast import SlowFast
+from repro.models.feature_extractor import FeatureExtractor
+from repro.models.hashing import HashingHead
+from repro.models.registry import create_backbone, create_feature_extractor, BACKBONES
+
+__all__ = [
+    "VideoBackbone",
+    "C3D",
+    "ResNetLSTM",
+    "resnet18",
+    "resnet34",
+    "I3D",
+    "TPN",
+    "SlowFast",
+    "FeatureExtractor",
+    "HashingHead",
+    "create_backbone",
+    "create_feature_extractor",
+    "BACKBONES",
+]

@@ -1,0 +1,52 @@
+"""C3D: plain stacked 3-D convolutions (Tran et al., ICCV'15).
+
+The paper uses C3D as the default surrogate backbone ("a typical video
+retrieval backbone from [43]").  This implementation keeps the C3D motif —
+homogeneous 3×3×3 convolutions with interleaved pooling — at configurable
+width.
+"""
+
+from __future__ import annotations
+
+from repro.nn import (
+    AdaptiveAvgPool3d,
+    BatchNorm,
+    Conv3d,
+    Flatten,
+    MaxPool3d,
+    ReLU,
+    Sequential,
+    Tensor,
+)
+from repro.models.base import VideoBackbone
+from repro.utils.seeding import seeded_rng
+
+
+class C3D(VideoBackbone):
+    """Stacked 3×3×3 convolutional video encoder."""
+
+    def __init__(self, in_channels: int = 3, width: int = 8, rng=None) -> None:
+        super().__init__()
+        rng = seeded_rng(rng)
+        w = width
+        self.features = Sequential(
+            Conv3d(in_channels, w, 3, padding=1, rng=rng),
+            BatchNorm(w),
+            ReLU(),
+            MaxPool3d((1, 2, 2)),
+            Conv3d(w, 2 * w, 3, padding=1, rng=rng),
+            BatchNorm(2 * w),
+            ReLU(),
+            MaxPool3d((2, 2, 2)),
+            Conv3d(2 * w, 4 * w, 3, padding=1, rng=rng),
+            BatchNorm(4 * w),
+            ReLU(),
+            MaxPool3d((2, 2, 2)),
+            AdaptiveAvgPool3d(),
+            Flatten(),
+        )
+        self.out_features = 4 * w
+
+    def forward(self, x: Tensor) -> Tensor:
+        self.validate_input(x)
+        return self.features(x)

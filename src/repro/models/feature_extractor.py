@@ -1,0 +1,61 @@
+"""Feature head: backbone features flattened to the retrieval embedding.
+
+The paper: "The features are flattened as a vector with a size of 768×1"
+— a fully-connected projection on top of the backbone.  The embedding
+dimension is a parameter (the paper sweeps [256, 512, 768, 1024] for the
+surrogate in Figure 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Linear, Module, Tensor, no_grad
+from repro.nn import functional as F
+from repro.models.base import VideoBackbone
+from repro.utils.seeding import seeded_rng
+from repro.video.types import Video, to_model_input
+
+
+class FeatureExtractor(Module):
+    """``Fea_ρ(v)``: backbone + linear projection (+ optional ℓ2 normalize)."""
+
+    def __init__(self, backbone: VideoBackbone, feature_dim: int = 768,
+                 normalize: bool = True, rng=None) -> None:
+        super().__init__()
+        rng = seeded_rng(rng)
+        self.backbone = backbone
+        self.feature_dim = int(feature_dim)
+        self.normalize = bool(normalize)
+        self.projection = Linear(backbone.out_features, self.feature_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Embed a batch ``(B, C, T, H, W)`` into ``(B, feature_dim)``."""
+        features = self.projection(self.backbone(x))
+        if self.normalize:
+            features = F.l2_normalize(features, axis=1)
+        return features
+
+    # -------------------------------------------------------------- #
+    # Video-level conveniences
+    # -------------------------------------------------------------- #
+    def embed_videos(self, videos: Video | list[Video],
+                     batch_size: int = 16) -> np.ndarray:
+        """Embed videos without building a graph; returns ``(B, D)`` array."""
+        single = isinstance(videos, Video)
+        if single:
+            videos = [videos]
+        was_training = self.training
+        self.eval()
+        chunks = []
+        with no_grad():
+            for start in range(0, len(videos), batch_size):
+                batch = to_model_input(videos[start : start + batch_size])
+                chunks.append(self.forward(Tensor(batch)).data)
+        if was_training:
+            self.train()
+        return np.concatenate(chunks, axis=0)
+
+    def embed_tensor(self, x: Tensor) -> Tensor:
+        """Differentiable embedding of an already-built input tensor."""
+        return self.forward(x)

@@ -1,0 +1,76 @@
+"""I3D: inflated 3-D inception-style encoder (Carreira & Zisserman, CVPR'17).
+
+The defining motif kept here is the *mixed temporal receptive field*:
+each block runs parallel 3-D convolution branches with different temporal
+kernel extents (1 and 3), concatenating their outputs — the "inflated
+Inception" idea at reduced width.
+"""
+
+from __future__ import annotations
+
+from repro.nn import (
+    AdaptiveAvgPool3d,
+    BatchNorm,
+    Conv3d,
+    Flatten,
+    MaxPool3d,
+    Module,
+    ReLU,
+    Sequential,
+    Tensor,
+    concatenate,
+)
+from repro.models.base import VideoBackbone
+from repro.utils.seeding import seeded_rng
+
+
+class InflatedMixedBlock(Module):
+    """Two parallel 3-D conv branches with temporal extents 1 and 3."""
+
+    def __init__(self, in_channels: int, branch_channels: int, rng=None) -> None:
+        super().__init__()
+        rng = seeded_rng(rng)
+        self.branch_spatial = Sequential(
+            Conv3d(in_channels, branch_channels, (1, 3, 3), padding=(0, 1, 1),
+                   bias=False, rng=rng),
+            BatchNorm(branch_channels),
+            ReLU(),
+        )
+        self.branch_temporal = Sequential(
+            Conv3d(in_channels, branch_channels, (3, 3, 3), padding=1,
+                   bias=False, rng=rng),
+            BatchNorm(branch_channels),
+            ReLU(),
+        )
+        self.out_channels = 2 * branch_channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        return concatenate(
+            [self.branch_spatial(x), self.branch_temporal(x)], axis=1
+        )
+
+
+class I3D(VideoBackbone):
+    """Reduced-width inflated-3D encoder."""
+
+    def __init__(self, in_channels: int = 3, width: int = 8, rng=None) -> None:
+        super().__init__()
+        rng = seeded_rng(rng)
+        self.stem = Sequential(
+            Conv3d(in_channels, width, (3, 3, 3), padding=1, bias=False, rng=rng),
+            BatchNorm(width),
+            ReLU(),
+            MaxPool3d((1, 2, 2)),
+        )
+        self.mixed1 = InflatedMixedBlock(width, width, rng=rng)
+        self.pool1 = MaxPool3d((2, 2, 2))
+        self.mixed2 = InflatedMixedBlock(self.mixed1.out_channels, 2 * width, rng=rng)
+        self.head = Sequential(AdaptiveAvgPool3d(), Flatten())
+        self.out_features = self.mixed2.out_channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        self.validate_input(x)
+        out = self.stem(x)
+        out = self.pool1(self.mixed1(out))
+        out = self.mixed2(out)
+        return self.head(out)

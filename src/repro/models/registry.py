@@ -1,0 +1,44 @@
+"""Backbone registry and factory helpers."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.models.base import VideoBackbone
+from repro.models.c3d import C3D
+from repro.models.feature_extractor import FeatureExtractor
+from repro.models.i3d import I3D
+from repro.models.resnet import resnet18, resnet34
+from repro.models.slowfast import SlowFast
+from repro.models.tpn import TPN
+
+#: name → constructor accepting (in_channels=…, width=…, rng=…).
+BACKBONES: dict[str, Callable[..., VideoBackbone]] = {
+    "c3d": C3D,
+    "resnet18": resnet18,
+    "resnet34": resnet34,
+    "i3d": I3D,
+    "tpn": TPN,
+    "slowfast": SlowFast,
+}
+
+#: Backbones the paper uses as victims / surrogates.
+VICTIM_BACKBONES = ("i3d", "tpn", "slowfast", "resnet34")
+SURROGATE_BACKBONES = ("c3d", "resnet18")
+
+
+def create_backbone(name: str, **kwargs) -> VideoBackbone:
+    """Instantiate a backbone by its paper name (case-insensitive)."""
+    key = name.lower()
+    if key not in BACKBONES:
+        raise KeyError(f"unknown backbone {name!r}; available: {sorted(BACKBONES)}")
+    return BACKBONES[key](**kwargs)
+
+
+def create_feature_extractor(name: str, feature_dim: int = 768,
+                             normalize: bool = True, width: int = 8,
+                             rng=None, **backbone_kwargs) -> FeatureExtractor:
+    """Build backbone + projection head in one call."""
+    backbone = create_backbone(name, width=width, rng=rng, **backbone_kwargs)
+    return FeatureExtractor(backbone, feature_dim=feature_dim,
+                            normalize=normalize, rng=rng)

@@ -1,0 +1,71 @@
+"""SlowFast: dual-pathway video encoder (Feichtenhofer et al., ICCV'19).
+
+The defining motif is the asymmetric two-pathway design: a *slow* pathway
+sees temporally sub-sampled frames with wide channels (semantic content),
+a *fast* pathway sees every frame with narrow channels (motion), and the
+pathways are fused before the head.
+"""
+
+from __future__ import annotations
+
+from repro.nn import (
+    AdaptiveAvgPool3d,
+    BatchNorm,
+    Conv3d,
+    Flatten,
+    MaxPool3d,
+    ReLU,
+    Sequential,
+    Tensor,
+    concatenate,
+)
+from repro.models.base import VideoBackbone
+from repro.utils.seeding import seeded_rng
+
+
+class SlowFast(VideoBackbone):
+    """Two-pathway slow/fast video encoder."""
+
+    def __init__(self, in_channels: int = 3, width: int = 8, alpha: int = 4,
+                 rng=None) -> None:
+        super().__init__()
+        if alpha < 1:
+            raise ValueError("alpha (slow-path temporal stride) must be >= 1")
+        rng = seeded_rng(rng)
+        self.alpha = int(alpha)
+        slow_width = 2 * width
+        fast_width = width // 2 or 1
+        self.slow_path = Sequential(
+            Conv3d(in_channels, slow_width, (1, 3, 3), padding=(0, 1, 1),
+                   bias=False, rng=rng),
+            BatchNorm(slow_width),
+            ReLU(),
+            MaxPool3d((1, 2, 2)),
+            Conv3d(slow_width, 2 * slow_width, (1, 3, 3), padding=(0, 1, 1),
+                   bias=False, rng=rng),
+            BatchNorm(2 * slow_width),
+            ReLU(),
+            AdaptiveAvgPool3d(),
+            Flatten(),
+        )
+        self.fast_path = Sequential(
+            Conv3d(in_channels, fast_width, (3, 3, 3), padding=1, bias=False,
+                   rng=rng),
+            BatchNorm(fast_width),
+            ReLU(),
+            MaxPool3d((1, 2, 2)),
+            Conv3d(fast_width, 2 * fast_width, (3, 3, 3), padding=1, bias=False,
+                   rng=rng),
+            BatchNorm(2 * fast_width),
+            ReLU(),
+            AdaptiveAvgPool3d(),
+            Flatten(),
+        )
+        self.out_features = 2 * slow_width + 2 * fast_width
+
+    def forward(self, x: Tensor) -> Tensor:
+        self.validate_input(x)
+        slow_input = x[:, :, :: self.alpha]
+        slow = self.slow_path(slow_input)
+        fast = self.fast_path(x)
+        return concatenate([slow, fast], axis=1)

@@ -1,0 +1,68 @@
+"""TPN: temporal pyramid network (Yang et al., CVPR'20).
+
+The defining motif is a *pyramid of temporal rates*: the same spatial
+encoder output is aggregated at several temporal resolutions (here rates
+1, 2 and 4 via temporal average pooling), each refined by its own 3-D
+convolution, then fused by concatenation.
+"""
+
+from __future__ import annotations
+
+from repro.nn import (
+    AdaptiveAvgPool3d,
+    BatchNorm,
+    Conv3d,
+    Flatten,
+    MaxPool3d,
+    ReLU,
+    Sequential,
+    Tensor,
+    concatenate,
+)
+from repro.nn import functional as F
+from repro.models.base import VideoBackbone
+from repro.utils.seeding import seeded_rng
+
+
+class TPN(VideoBackbone):
+    """Temporal-pyramid video encoder."""
+
+    def __init__(self, in_channels: int = 3, width: int = 8,
+                 rates: tuple[int, ...] = (1, 2, 4), rng=None) -> None:
+        super().__init__()
+        rng = seeded_rng(rng)
+        self.rates = tuple(int(r) for r in rates)
+        self.stem = Sequential(
+            Conv3d(in_channels, width, 3, padding=1, bias=False, rng=rng),
+            BatchNorm(width),
+            ReLU(),
+            MaxPool3d((1, 2, 2)),
+            Conv3d(width, 2 * width, 3, padding=1, bias=False, rng=rng),
+            BatchNorm(2 * width),
+            ReLU(),
+            MaxPool3d((1, 2, 2)),
+        )
+        self.branches = []
+        for i, rate in enumerate(self.rates):
+            branch = Sequential(
+                Conv3d(2 * width, 2 * width, (3, 1, 1), padding=(1, 0, 0),
+                       bias=False, rng=rng),
+                BatchNorm(2 * width),
+                ReLU(),
+                AdaptiveAvgPool3d(),
+                Flatten(),
+            )
+            setattr(self, f"branch{i}", branch)
+            self.branches.append(branch)
+        self.out_features = 2 * width * len(self.rates)
+
+    def forward(self, x: Tensor) -> Tensor:
+        self.validate_input(x)
+        base = self.stem(x)
+        levels = []
+        for rate, branch in zip(self.rates, self.branches):
+            level = base
+            if rate > 1:
+                level = F.avg_pool3d(level, (rate, 1, 1), (rate, 1, 1))
+            levels.append(branch(level))
+        return concatenate(levels, axis=1)

@@ -1,0 +1,69 @@
+"""A compact reverse-mode autograd engine and neural-network toolkit.
+
+This subpackage stands in for PyTorch in the reproduction: it provides a
+dynamic-graph :class:`~repro.nn.tensor.Tensor`, differentiable 2-D/3-D
+convolutions and pooling, recurrent cells, the usual layer zoo, and SGD/Adam
+optimizers.  Every model in :mod:`repro.models` and every gradient-based
+attack step in :mod:`repro.attacks` is built on it.
+"""
+
+from repro.nn.tensor import Tensor, no_grad, concatenate, stack, where, maximum, minimum
+from repro.nn import functional
+from repro.nn.modules import (
+    Module,
+    Sequential,
+    Linear,
+    Conv2d,
+    Conv3d,
+    BatchNorm,
+    LayerNorm,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    Dropout,
+    Flatten,
+    MaxPool3d,
+    AvgPool3d,
+    AdaptiveAvgPool3d,
+    LSTMCell,
+    LSTM,
+    Identity,
+)
+from repro.nn.optim import SGD, Adam, StepLR
+from repro.nn import init
+from repro.nn.serialization import save_state_dict, load_state_dict
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "concatenate",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "functional",
+    "Module",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "Conv3d",
+    "BatchNorm",
+    "LayerNorm",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "Flatten",
+    "MaxPool3d",
+    "AvgPool3d",
+    "AdaptiveAvgPool3d",
+    "LSTMCell",
+    "LSTM",
+    "Identity",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "init",
+    "save_state_dict",
+    "load_state_dict",
+]

@@ -1,0 +1,245 @@
+"""Differentiable array operations: convolutions, pooling, losses.
+
+Convolutions use ``numpy.lib.stride_tricks.sliding_window_view`` for the
+forward pass (an im2col view without copying) and explicit scatter-adds for
+the input gradient.  Shapes follow the PyTorch convention:
+
+* 2-D: activations ``(B, C, H, W)``, weights ``(F, C, kH, kW)``.
+* 3-D: activations ``(B, C, T, H, W)``, weights ``(F, C, kT, kH, kW)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.nn.tensor import Tensor, make_op
+
+
+def _pair(value) -> tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected 2 values, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def _triple(value) -> tuple[int, int, int]:
+    if isinstance(value, (tuple, list)):
+        if len(value) != 3:
+            raise ValueError(f"expected 3 values, got {value!r}")
+        return int(value[0]), int(value[1]), int(value[2])
+    return int(value), int(value), int(value)
+
+
+# ---------------------------------------------------------------------- #
+# Convolutions
+# ---------------------------------------------------------------------- #
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           stride=1, padding=0) -> Tensor:
+    """2-D cross-correlation (the deep-learning "convolution")."""
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    batch, in_ch, height, width = x.shape
+    out_ch, w_in_ch, kh, kw = weight.shape
+    if w_in_ch != in_ch:
+        raise ValueError(f"channel mismatch: input has {in_ch}, weight expects {w_in_ch}")
+
+    padded = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    windows = sliding_window_view(padded, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+    out = np.einsum("bchwij,fcij->bfhw", windows, weight.data, optimize=True)
+    if bias is not None:
+        out = out + bias.data.reshape(1, -1, 1, 1)
+    out_h, out_w = out.shape[2], out.shape[3]
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad, out=None):
+        grad_w = None
+        if weight.requires_grad:
+            grad_w = np.einsum("bchwij,bfhw->fcij", windows, grad, optimize=True)
+        grad_x = None
+        if x.requires_grad:
+            grad_padded = np.zeros_like(padded)
+            for ih in range(kh):
+                for iw in range(kw):
+                    contrib = np.einsum(
+                        "bfhw,fc->bchw", grad, weight.data[:, :, ih, iw],
+                        optimize=True,
+                    )
+                    grad_padded[
+                        :, :, ih : ih + out_h * sh : sh, iw : iw + out_w * sw : sw
+                    ] += contrib
+            grad_x = grad_padded[:, :, ph : ph + height, pw : pw + width]
+        if bias is None:
+            return grad_x, grad_w
+        grad_b = grad.sum(axis=(0, 2, 3)) if bias.requires_grad else None
+        return grad_x, grad_w, grad_b
+
+    return make_op(out, parents, backward, "conv2d")
+
+
+def conv3d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           stride=1, padding=0) -> Tensor:
+    """3-D cross-correlation over ``(T, H, W)`` volumes."""
+    st, sh, sw = _triple(stride)
+    pt, ph, pw = _triple(padding)
+    batch, in_ch, frames, height, width = x.shape
+    out_ch, w_in_ch, kt, kh, kw = weight.shape
+    if w_in_ch != in_ch:
+        raise ValueError(f"channel mismatch: input has {in_ch}, weight expects {w_in_ch}")
+
+    padded = np.pad(x.data, ((0, 0), (0, 0), (pt, pt), (ph, ph), (pw, pw)))
+    windows = sliding_window_view(padded, (kt, kh, kw), axis=(2, 3, 4))[
+        :, :, ::st, ::sh, ::sw
+    ]
+    out = np.einsum("bcthwijk,fcijk->bfthw", windows, weight.data, optimize=True)
+    if bias is not None:
+        out = out + bias.data.reshape(1, -1, 1, 1, 1)
+    out_t, out_h, out_w = out.shape[2], out.shape[3], out.shape[4]
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad, out=None):
+        grad_w = None
+        if weight.requires_grad:
+            grad_w = np.einsum("bcthwijk,bfthw->fcijk", windows, grad, optimize=True)
+        grad_x = None
+        if x.requires_grad:
+            grad_padded = np.zeros_like(padded)
+            for it in range(kt):
+                for ih in range(kh):
+                    for iw in range(kw):
+                        contrib = np.einsum(
+                            "bfthw,fc->bcthw", grad, weight.data[:, :, it, ih, iw],
+                            optimize=True,
+                        )
+                        grad_padded[
+                            :,
+                            :,
+                            it : it + out_t * st : st,
+                            ih : ih + out_h * sh : sh,
+                            iw : iw + out_w * sw : sw,
+                        ] += contrib
+            grad_x = grad_padded[
+                :, :, pt : pt + frames, ph : ph + height, pw : pw + width
+            ]
+        if bias is None:
+            return grad_x, grad_w
+        grad_b = grad.sum(axis=(0, 2, 3, 4)) if bias.requires_grad else None
+        return grad_x, grad_w, grad_b
+
+    return make_op(out, parents, backward, "conv3d")
+
+
+# ---------------------------------------------------------------------- #
+# Pooling
+# ---------------------------------------------------------------------- #
+def _pool3d_windows(data: np.ndarray, kernel: tuple[int, int, int],
+                    stride: tuple[int, int, int]) -> np.ndarray:
+    return sliding_window_view(data, kernel, axis=(2, 3, 4))[
+        :, :, :: stride[0], :: stride[1], :: stride[2]
+    ]
+
+
+def max_pool3d(x: Tensor, kernel_size, stride=None) -> Tensor:
+    """Max pooling over ``(T, H, W)``; ``stride`` defaults to the kernel."""
+    kernel = _triple(kernel_size)
+    stride = kernel if stride is None else _triple(stride)
+    windows = _pool3d_windows(x.data, kernel, stride)
+    out = windows.max(axis=(5, 6, 7))
+    out_t, out_h, out_w = out.shape[2:]
+
+    def backward(grad, fwd=None):
+        grad_x = np.zeros_like(x.data)
+        # Distribute each output's gradient to the argmax inside its window.
+        mask = windows == out[..., None, None, None]
+        # Normalize ties so the gradient total is preserved.
+        weights = mask / mask.sum(axis=(5, 6, 7), keepdims=True)
+        contrib = weights * grad[..., None, None, None]
+        for it in range(kernel[0]):
+            for ih in range(kernel[1]):
+                for iw in range(kernel[2]):
+                    grad_x[
+                        :,
+                        :,
+                        it : it + out_t * stride[0] : stride[0],
+                        ih : ih + out_h * stride[1] : stride[1],
+                        iw : iw + out_w * stride[2] : stride[2],
+                    ] += contrib[:, :, :, :, :, it, ih, iw]
+        return (grad_x,)
+
+    return make_op(out, (x,), backward, "max_pool3d")
+
+
+def avg_pool3d(x: Tensor, kernel_size, stride=None) -> Tensor:
+    """Average pooling over ``(T, H, W)``; ``stride`` defaults to the kernel."""
+    kernel = _triple(kernel_size)
+    stride = kernel if stride is None else _triple(stride)
+    windows = _pool3d_windows(x.data, kernel, stride)
+    out = windows.mean(axis=(5, 6, 7))
+    out_t, out_h, out_w = out.shape[2:]
+    denom = float(np.prod(kernel))
+
+    def backward(grad, fwd=None):
+        grad_x = np.zeros_like(x.data)
+        share = grad / denom
+        for it in range(kernel[0]):
+            for ih in range(kernel[1]):
+                for iw in range(kernel[2]):
+                    grad_x[
+                        :,
+                        :,
+                        it : it + out_t * stride[0] : stride[0],
+                        ih : ih + out_h * stride[1] : stride[1],
+                        iw : iw + out_w * stride[2] : stride[2],
+                    ] += share
+        return (grad_x,)
+
+    return make_op(out, (x,), backward, "avg_pool3d")
+
+
+def global_avg_pool3d(x: Tensor) -> Tensor:
+    """Adaptive average pooling to a single ``(1, 1, 1)`` cell per channel."""
+    return x.mean(axis=(2, 3, 4), keepdims=True)
+
+
+# ---------------------------------------------------------------------- #
+# Losses / misc
+# ---------------------------------------------------------------------- #
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error between two tensors of equal shape."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Softmax cross-entropy with integer labels of shape ``(B,)``."""
+    labels = np.asarray(labels)
+    log_probs = logits.log_softmax(axis=-1)
+    batch = logits.shape[0]
+    picked = log_probs[np.arange(batch), labels]
+    return -picked.mean()
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit (function form)."""
+    return x.relu()
+
+
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Project rows of ``x`` onto the unit sphere along ``axis``."""
+    norm = ((x * x).sum(axis=axis, keepdims=True) + eps).sqrt()
+    return x / norm
+
+
+def pairwise_squared_distances(a: Tensor, b: Tensor) -> Tensor:
+    """All-pairs squared euclidean distances between rows of ``a`` and ``b``.
+
+    ``a`` is ``(n, d)``, ``b`` is ``(m, d)``; the result is ``(n, m)``.
+    Distances are clamped at zero to absorb floating-point noise.
+    """
+    a_sq = (a * a).sum(axis=1, keepdims=True)
+    b_sq = (b * b).sum(axis=1, keepdims=True)
+    cross = a @ b.transpose(1, 0)
+    return (a_sq + b_sq.transpose(1, 0) - cross * 2.0).clip(0.0, None)

@@ -1,0 +1,33 @@
+"""Weight-initialization schemes (He / Glorot and constants)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.seeding import seeded_rng
+
+
+def kaiming_uniform(shape: tuple[int, ...], fan_in: int,
+                    rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """He-uniform initialization suited to ReLU networks."""
+    rng = seeded_rng(rng)
+    bound = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float64)
+
+
+def xavier_uniform(shape: tuple[int, ...], fan_in: int, fan_out: int,
+                   rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Glorot-uniform initialization suited to tanh/sigmoid networks."""
+    rng = seeded_rng(rng)
+    bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float64)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialization (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def constant(shape: tuple[int, ...], value: float) -> np.ndarray:
+    """Constant initialization (e.g. BatchNorm scale)."""
+    return np.full(shape, float(value), dtype=np.float64)

@@ -1,0 +1,23 @@
+"""Saving and loading module weights as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.modules import Module
+
+
+def save_state_dict(module: Module, path: str | os.PathLike) -> None:
+    """Serialize ``module.state_dict()`` to ``path`` (``.npz``)."""
+    state = module.state_dict()
+    # npz keys cannot contain '/' portably; names use '.' already.
+    np.savez(path, **state)
+
+
+def load_state_dict(module: Module, path: str | os.PathLike) -> None:
+    """Load weights saved by :func:`save_state_dict` into ``module``."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

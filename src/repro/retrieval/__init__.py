@@ -1,0 +1,40 @@
+"""DNN-based video retrieval system (paper Figure 1).
+
+A :class:`~repro.retrieval.engine.RetrievalEngine` embeds a query video
+with a trained :class:`~repro.models.FeatureExtractor` and searches a
+gallery of features sharded across simulated distributed
+:class:`~repro.retrieval.nodes.DataNode`s.  Attackers interact only with
+the :class:`~repro.retrieval.service.RetrievalService` facade, which
+exposes the retrieval list ``R^m(v)`` and nothing else (black-box threat
+model), while counting queries.
+"""
+
+from repro.retrieval.similarity import (
+    negative_l2,
+    cosine,
+    SIMILARITIES,
+    create_similarity,
+)
+from repro.retrieval.lists import RetrievalEntry, RetrievalList
+from repro.retrieval.index import FeatureIndex
+from repro.retrieval.ann import IVFIndex
+from repro.retrieval.nodes import DataNode, ShardedGallery, NodeDownError
+from repro.retrieval.engine import RetrievalEngine
+from repro.retrieval.service import RetrievalService, QueryBudgetExceeded
+
+__all__ = [
+    "negative_l2",
+    "cosine",
+    "SIMILARITIES",
+    "create_similarity",
+    "RetrievalEntry",
+    "RetrievalList",
+    "FeatureIndex",
+    "IVFIndex",
+    "DataNode",
+    "ShardedGallery",
+    "NodeDownError",
+    "RetrievalEngine",
+    "RetrievalService",
+    "QueryBudgetExceeded",
+]

@@ -1,0 +1,123 @@
+"""Approximate nearest-neighbour index (IVF-flat) for large galleries.
+
+Production retrieval over millions of videos does not brute-force the
+gallery; it partitions features into coarse cells (k-means) and probes
+only the closest cells at query time.  :class:`IVFIndex` implements that
+inverted-file design with the same ``search`` interface as
+:class:`~repro.retrieval.index.FeatureIndex`, so it can be dropped into
+a :class:`~repro.retrieval.nodes.DataNode` or used standalone.
+
+Recall is tunable via ``nprobe`` — the classic ANN speed/recall knob —
+and the tests verify the recall@k monotonicity in it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.retrieval.lists import RetrievalEntry
+from repro.retrieval.similarity import SimilarityFn, negative_l2
+from repro.utils.seeding import seeded_rng
+
+
+def _kmeans(points: np.ndarray, num_clusters: int, iterations: int = 15,
+            rng=None) -> np.ndarray:
+    """Plain Lloyd's k-means; returns the ``(num_clusters, d)`` centroids."""
+    rng = seeded_rng(rng)
+    count = points.shape[0]
+    chosen = rng.choice(count, size=min(num_clusters, count), replace=False)
+    centroids = points[chosen].copy()
+    for _ in range(iterations):
+        distances = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        assignment = distances.argmin(axis=1)
+        for cluster in range(centroids.shape[0]):
+            members = points[assignment == cluster]
+            if len(members):
+                centroids[cluster] = members.mean(axis=0)
+    return centroids
+
+
+class IVFIndex:
+    """Inverted-file flat index: coarse k-means cells + per-cell scan."""
+
+    def __init__(self, num_cells: int = 8, nprobe: int = 2,
+                 similarity: SimilarityFn = negative_l2, rng=None) -> None:
+        if num_cells < 1 or nprobe < 1:
+            raise ValueError("num_cells and nprobe must be positive")
+        self.num_cells = int(num_cells)
+        self.nprobe = int(nprobe)
+        self.similarity = similarity
+        self._rng = seeded_rng(rng)
+        self._features: list[np.ndarray] = []
+        self._ids: list[str] = []
+        self._labels: list[int] = []
+        self._centroids: np.ndarray | None = None
+        self._cells: list[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def add(self, video_id: str, label: int, feature: np.ndarray) -> None:
+        """Buffer one row; the index is (re)built lazily on search."""
+        self._features.append(np.asarray(feature, dtype=np.float64).reshape(-1))
+        self._ids.append(str(video_id))
+        self._labels.append(int(label))
+        self._centroids = None  # mark dirty
+
+    def add_batch(self, ids, labels, features) -> None:
+        """Buffer many rows."""
+        for video_id, label, feature in zip(ids, labels, features):
+            self.add(video_id, label, feature)
+
+    def build(self) -> None:
+        """Cluster buffered rows into cells (idempotent until new adds)."""
+        if not self._features:
+            return
+        matrix = np.stack(self._features)
+        cells = min(self.num_cells, len(matrix))
+        self._centroids = _kmeans(matrix, cells, rng=self._rng)
+        distances = ((matrix[:, None, :] - self._centroids[None, :, :]) ** 2
+                     ).sum(axis=2)
+        assignment = distances.argmin(axis=1)
+        self._cells = [np.flatnonzero(assignment == c)
+                       for c in range(self._centroids.shape[0])]
+
+    def search(self, query: np.ndarray, k: int) -> list[RetrievalEntry]:
+        """Probe the ``nprobe`` nearest cells and scan only their members."""
+        if not self._ids:
+            return []
+        if self._centroids is None:
+            self.build()
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        matrix = np.stack(self._features)
+        cell_distances = ((self._centroids - query[None, :]) ** 2).sum(axis=1)
+        probe_order = np.argsort(cell_distances)[: self.nprobe]
+        candidates = np.concatenate(
+            [self._cells[c] for c in probe_order]
+        ) if len(probe_order) else np.arange(len(matrix))
+        if candidates.size == 0:
+            return []
+        scores = self.similarity(query, matrix[candidates])
+        k = min(int(k), candidates.size)
+        head = np.argpartition(-scores, k - 1)[:k]
+        order = head[np.argsort(-scores[head], kind="stable")]
+        return [
+            RetrievalEntry(self._ids[candidates[i]],
+                           self._labels[candidates[i]], float(scores[i]))
+            for i in order
+        ]
+
+    def labels_of(self) -> list[int]:
+        """All stored labels."""
+        return list(self._labels)
+
+    def recall_at_k(self, exact_index, queries: np.ndarray, k: int) -> float:
+        """Mean fraction of the exact top-k this index also returns."""
+        if not len(queries):
+            return 0.0
+        total = 0.0
+        for query in queries:
+            exact = {entry.video_id for entry in exact_index.search(query, k)}
+            approx = {entry.video_id for entry in self.search(query, k)}
+            total += len(exact & approx) / max(len(exact), 1)
+        return total / len(queries)

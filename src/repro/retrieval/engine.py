@@ -1,0 +1,53 @@
+"""White-box retrieval engine: feature extractor + sharded gallery."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.feature_extractor import FeatureExtractor
+from repro.retrieval.lists import RetrievalList
+from repro.retrieval.nodes import ShardedGallery
+from repro.retrieval.similarity import SimilarityFn, create_similarity, negative_l2
+from repro.video.types import Video
+
+
+class RetrievalEngine:
+    """``R(·)``: embeds queries and searches the distributed gallery.
+
+    This is the *owner-side* view of the system — it exposes the model.
+    Attackers must use :class:`~repro.retrieval.service.RetrievalService`.
+    """
+
+    def __init__(self, extractor: FeatureExtractor,
+                 similarity: SimilarityFn | str = negative_l2,
+                 num_nodes: int = 4) -> None:
+        if isinstance(similarity, str):
+            similarity = create_similarity(similarity)
+        self.extractor = extractor
+        self.gallery = ShardedGallery(num_nodes=num_nodes, similarity=similarity)
+
+    # -------------------------------------------------------------- #
+    # Gallery management
+    # -------------------------------------------------------------- #
+    def index_videos(self, videos: list[Video], batch_size: int = 16) -> None:
+        """Embed and insert videos into the gallery."""
+        features = self.extractor.embed_videos(videos, batch_size=batch_size)
+        self.gallery.add_batch(
+            [v.video_id for v in videos], [v.label for v in videos], features
+        )
+
+    @property
+    def gallery_size(self) -> int:
+        return len(self.gallery)
+
+    # -------------------------------------------------------------- #
+    # Retrieval
+    # -------------------------------------------------------------- #
+    def retrieve(self, video: Video, m: int) -> RetrievalList:
+        """Return ``R^m(v)``: the ``m`` most similar gallery videos."""
+        feature = self.extractor.embed_videos(video)[0]
+        return RetrievalList(self.gallery.search(feature, m))
+
+    def retrieve_by_feature(self, feature: np.ndarray, m: int) -> RetrievalList:
+        """Search with a precomputed embedding (used by defenses)."""
+        return RetrievalList(self.gallery.search(feature, m))

@@ -1,0 +1,70 @@
+"""Brute-force feature index over gallery embeddings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.retrieval.lists import RetrievalEntry
+from repro.retrieval.similarity import SimilarityFn, negative_l2
+
+
+class FeatureIndex:
+    """Flat index mapping features to (video_id, label) rows.
+
+    Rows are appended with :meth:`add`; :meth:`search` scores the query
+    against every row with the configured similarity and returns the
+    ``k`` best entries.
+    """
+
+    def __init__(self, similarity: SimilarityFn = negative_l2) -> None:
+        self.similarity = similarity
+        self._features: list[np.ndarray] = []
+        self._ids: list[str] = []
+        self._labels: list[int] = []
+        self._matrix: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def add(self, video_id: str, label: int, feature: np.ndarray) -> None:
+        """Append one gallery row."""
+        feature = np.asarray(feature, dtype=np.float64).reshape(-1)
+        if self._features and feature.shape != self._features[0].shape:
+            raise ValueError(
+                f"feature dim mismatch: {feature.shape} vs {self._features[0].shape}"
+            )
+        self._features.append(feature)
+        self._ids.append(str(video_id))
+        self._labels.append(int(label))
+        self._matrix = None  # invalidate cache
+
+    def add_batch(self, ids: list[str], labels: list[int],
+                  features: np.ndarray) -> None:
+        """Append many rows at once (``features`` is ``(n, d)``)."""
+        for video_id, label, feature in zip(ids, labels, features):
+            self.add(video_id, label, feature)
+
+    def _feature_matrix(self) -> np.ndarray:
+        if self._matrix is None:
+            self._matrix = np.stack(self._features) if self._features else \
+                np.empty((0, 0))
+        return self._matrix
+
+    def search(self, query: np.ndarray, k: int) -> list[RetrievalEntry]:
+        """Return the ``k`` most similar entries, best first."""
+        if not self._ids:
+            return []
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        scores = self.similarity(query, self._feature_matrix())
+        k = min(int(k), len(scores))
+        # argpartition then exact sort of the short head.
+        head = np.argpartition(-scores, k - 1)[:k]
+        order = head[np.argsort(-scores[head], kind="stable")]
+        return [
+            RetrievalEntry(self._ids[i], self._labels[i], float(scores[i]))
+            for i in order
+        ]
+
+    def labels_of(self) -> list[int]:
+        """All stored labels (gallery statistics, metric computation)."""
+        return list(self._labels)

@@ -1,0 +1,53 @@
+"""Retrieval result lists ``R^m(v)`` and their entries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetrievalEntry:
+    """One returned video: its id, label, and similarity score."""
+
+    video_id: str
+    label: int
+    score: float
+
+
+class RetrievalList:
+    """An ordered retrieval result, most similar first.
+
+    This is the *only* information the black-box threat model grants the
+    attacker, so attack code should depend on nothing else.
+    """
+
+    def __init__(self, entries: list[RetrievalEntry]) -> None:
+        self.entries = list(entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __getitem__(self, index):
+        return self.entries[index]
+
+    @property
+    def ids(self) -> list[str]:
+        """Video ids in rank order."""
+        return [entry.video_id for entry in self.entries]
+
+    @property
+    def labels(self) -> list[int]:
+        """Labels in rank order."""
+        return [entry.label for entry in self.entries]
+
+    def top(self, count: int) -> "RetrievalList":
+        """Return the ``count`` best entries as a new list."""
+        return RetrievalList(self.entries[:count])
+
+    def __repr__(self) -> str:
+        preview = ", ".join(self.ids[:3])
+        suffix = ", ..." if len(self) > 3 else ""
+        return f"RetrievalList([{preview}{suffix}], m={len(self)})"

@@ -1,0 +1,118 @@
+"""Simulated distributed data nodes and the sharded gallery coordinator.
+
+Paper Figure 1 shows the retrieval system locating "videos in various
+distributed data nodes that are close to [the query] in the feature
+space".  :class:`ShardedGallery` reproduces that topology in-process: the
+gallery is sharded across ``num_nodes`` :class:`DataNode`s and a
+coordinator performs scatter/gather top-k merging.  Nodes can be taken
+down to test degraded retrieval (failure injection), and the coordinator
+keeps a ``networkx`` star topology for introspection.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import networkx as nx
+import numpy as np
+
+from repro.retrieval.index import FeatureIndex
+from repro.retrieval.lists import RetrievalEntry
+from repro.retrieval.similarity import SimilarityFn, negative_l2
+
+
+class NodeDownError(RuntimeError):
+    """Raised when a downed node is queried directly."""
+
+
+class DataNode:
+    """One storage shard holding a :class:`FeatureIndex`."""
+
+    def __init__(self, node_id: str, similarity: SimilarityFn = negative_l2) -> None:
+        self.node_id = str(node_id)
+        self.index = FeatureIndex(similarity)
+        self.alive = True
+        self.search_count = 0
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def add(self, video_id: str, label: int, feature: np.ndarray) -> None:
+        """Store one gallery row on this node."""
+        self.index.add(video_id, label, feature)
+
+    def search(self, query: np.ndarray, k: int) -> list[RetrievalEntry]:
+        """Local top-k search; raises :class:`NodeDownError` when down."""
+        if not self.alive:
+            raise NodeDownError(f"node {self.node_id} is down")
+        self.search_count += 1
+        return self.index.search(query, k)
+
+    def take_down(self) -> None:
+        """Simulate a node failure."""
+        self.alive = False
+
+    def bring_up(self) -> None:
+        """Recover a failed node."""
+        self.alive = True
+
+
+class ShardedGallery:
+    """Coordinator over ``num_nodes`` data nodes with scatter/gather merge.
+
+    Rows are assigned to shards round-robin at insertion time.  A search
+    fans out to all live nodes, takes each node's local top-k, and merges
+    the partial lists into a global top-k.  Downed nodes are skipped, so
+    results degrade gracefully rather than failing — matching how a
+    replicated production system keeps serving under partial failure.
+    """
+
+    def __init__(self, num_nodes: int = 4,
+                 similarity: SimilarityFn = negative_l2) -> None:
+        if num_nodes < 1:
+            raise ValueError("gallery needs at least one node")
+        self.nodes = [DataNode(f"node-{i}", similarity) for i in range(num_nodes)]
+        self._next_shard = 0
+        self.topology = nx.star_graph(num_nodes)
+        relabel = {0: "coordinator"}
+        relabel.update({i + 1: node.node_id for i, node in enumerate(self.nodes)})
+        self.topology = nx.relabel_nodes(self.topology, relabel)
+
+    def __len__(self) -> int:
+        return sum(len(node) for node in self.nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def live_nodes(self) -> list[DataNode]:
+        return [node for node in self.nodes if node.alive]
+
+    def add(self, video_id: str, label: int, feature: np.ndarray) -> None:
+        """Insert one row on the next shard (round-robin placement)."""
+        self.nodes[self._next_shard].add(video_id, label, feature)
+        self._next_shard = (self._next_shard + 1) % len(self.nodes)
+
+    def add_batch(self, ids: list[str], labels: list[int],
+                  features: np.ndarray) -> None:
+        """Insert many rows, spread across shards."""
+        for video_id, label, feature in zip(ids, labels, features):
+            self.add(video_id, label, feature)
+
+    def search(self, query: np.ndarray, k: int) -> list[RetrievalEntry]:
+        """Scatter/gather top-k across live nodes, best first."""
+        partials: list[list[RetrievalEntry]] = []
+        for node in self.nodes:
+            if not node.alive:
+                continue
+            partials.append(node.search(query, k))
+        merged = heapq.merge(*partials, key=lambda entry: -entry.score)
+        return list(merged)[: int(k)]
+
+    def labels_of(self) -> list[int]:
+        """All labels across every shard (including downed ones)."""
+        labels: list[int] = []
+        for node in self.nodes:
+            labels.extend(node.index.labels_of())
+        return labels

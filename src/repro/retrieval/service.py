@@ -1,0 +1,70 @@
+"""Black-box facade over the retrieval engine.
+
+This is the attacker's entire world: ``query(video) → R^m(video)``.  The
+facade counts queries (query efficiency is a headline metric for
+black-box attacks), optionally enforces a query budget, and can wrap the
+engine with a defense that preprocesses inputs and/or flags adversarial
+queries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.retrieval.engine import RetrievalEngine
+from repro.retrieval.lists import RetrievalList
+from repro.video.types import Video
+
+#: A defense preprocessor maps a query video to the video actually embedded.
+Preprocessor = Callable[[Video], Video]
+
+
+class QueryBudgetExceeded(RuntimeError):
+    """Raised when the attacker exceeds the configured query budget."""
+
+
+class RetrievalService:
+    """``R^m(·)`` as seen by an end user / attacker.
+
+    ``quantize_queries`` models a real upload API: query pixels are
+    rounded to 8-bit before embedding, so adversarial perturbations must
+    survive quantization (the paper's τ is specified in 8-bit units for
+    exactly this reason).
+    """
+
+    def __init__(self, engine: RetrievalEngine, m: int = 10,
+                 query_budget: int | None = None,
+                 preprocessor: Preprocessor | None = None,
+                 quantize_queries: bool = False) -> None:
+        if m < 1:
+            raise ValueError("m (returned list length) must be positive")
+        self.engine = engine
+        self.m = int(m)
+        self.query_budget = query_budget
+        self.preprocessor = preprocessor
+        self.quantize_queries = bool(quantize_queries)
+        self.query_count = 0
+
+    def reset_query_count(self) -> None:
+        """Zero the query counter (e.g. between attack runs)."""
+        self.query_count = 0
+
+    def query(self, video: Video, m: int | None = None) -> RetrievalList:
+        """Return the retrieval list for ``video``.
+
+        Raises :class:`QueryBudgetExceeded` once the budget is exhausted;
+        this models server-side throttling of suspicious accounts.
+        """
+        if self.query_budget is not None and self.query_count >= self.query_budget:
+            raise QueryBudgetExceeded(
+                f"query budget of {self.query_budget} exhausted"
+            )
+        self.query_count += 1
+        if self.quantize_queries:
+            from repro.video.transforms import dequantize_uint8, quantize_uint8
+
+            video = dequantize_uint8(quantize_uint8(video), video.label,
+                                     video.video_id)
+        if self.preprocessor is not None:
+            video = self.preprocessor(video)
+        return self.engine.retrieve(video, self.m if m is None else int(m))

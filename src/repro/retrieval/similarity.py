@@ -1,0 +1,55 @@
+"""Similarity functions between a query feature and gallery features.
+
+The paper's deep model uses "a similarity function (e.g., ℓ2-norm based)
+for computing a list of similar videos"; cosine similarity is provided as
+an alternative since all victim losses operate on normalized embeddings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+SimilarityFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def negative_l2(query: np.ndarray, gallery: np.ndarray) -> np.ndarray:
+    """Similarity = −‖q − g‖₂ for each gallery row (higher is more similar)."""
+    diffs = gallery - query[None, :]
+    return -np.sqrt((diffs * diffs).sum(axis=1))
+
+
+def cosine(query: np.ndarray, gallery: np.ndarray) -> np.ndarray:
+    """Cosine similarity between the query and each gallery row."""
+    q = query / (np.linalg.norm(query) + 1e-12)
+    g = gallery / (np.linalg.norm(gallery, axis=1, keepdims=True) + 1e-12)
+    return g @ q
+
+
+def hamming(query: np.ndarray, gallery: np.ndarray) -> np.ndarray:
+    """Negative Hamming distance between sign-binarized codes.
+
+    Inputs may be relaxed (real-valued) codes; both sides are binarized
+    by sign before comparison, matching deep-hash retrieval (HashNet
+    [42]).  Higher is more similar; identical codes score 0.
+    """
+    q = np.where(query >= 0.0, 1.0, -1.0)
+    g = np.where(gallery >= 0.0, 1.0, -1.0)
+    # Hamming distance = (bits − dot) / 2 for ±1 codes.
+    return -((q.size - g @ q) / 2.0)
+
+
+SIMILARITIES: dict[str, SimilarityFn] = {
+    "l2": negative_l2,
+    "cosine": cosine,
+    "hamming": hamming,
+}
+
+
+def create_similarity(name: str) -> SimilarityFn:
+    """Look up a similarity function by name (``"l2"`` or ``"cosine"``)."""
+    key = name.lower()
+    if key not in SIMILARITIES:
+        raise KeyError(f"unknown similarity {name!r}; available: {sorted(SIMILARITIES)}")
+    return SIMILARITIES[key]

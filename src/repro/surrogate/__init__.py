@@ -1,0 +1,12 @@
+"""Surrogate-model construction by model stealing (paper Section IV-B-1)."""
+
+from repro.surrogate.stealing import StolenRankingDataset, StolenRow, steal_training_set
+from repro.surrogate.trainer import SurrogateTrainer, train_surrogate
+
+__all__ = [
+    "StolenRankingDataset",
+    "StolenRow",
+    "steal_training_set",
+    "SurrogateTrainer",
+    "train_surrogate",
+]

@@ -1,0 +1,131 @@
+"""Building the surrogate training set ``T`` by querying the victim.
+
+Implements Steps 1–3 of Section IV-B-1:
+
+1. Upload a random video ``v_r`` to ``R(·)``, obtain ``R^m(v_r)``, and
+   append the ranked triples to ``T``.
+2. Uniformly select ``M`` videos from ``R^m(v_r)`` and repeat Step 1 on
+   each (crawl the neighbourhood).
+3. Repeat Steps 1–2 for ``Z`` rounds.
+
+Each stored row keeps the query video together with its ranked returned
+videos, which is exactly the supervision the ranked-triplet surrogate
+loss consumes (``T = {⟨v_r, v_i, v_j⟩ | i < j}`` expands pairwise inside
+the loss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.retrieval.service import RetrievalService
+from repro.utils.seeding import seeded_rng
+from repro.video.types import Video
+
+
+@dataclass
+class StolenRow:
+    """One stolen supervision row: a query and its ranked results."""
+
+    query: Video
+    returned: list[Video]
+
+    @property
+    def num_triples(self) -> int:
+        """Number of ⟨v, v_i, v_j⟩ triples this row expands to."""
+        m = len(self.returned)
+        return m * (m - 1) // 2
+
+
+class StolenRankingDataset:
+    """The stolen training set ``T`` with train/test splitting."""
+
+    def __init__(self, rows: list[StolenRow], queries_spent: int) -> None:
+        self.rows = list(rows)
+        self.queries_spent = int(queries_spent)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def num_samples(self) -> int:
+        """Total videos involved (the paper counts dataset size in samples)."""
+        seen = {row.query.video_id for row in self.rows}
+        for row in self.rows:
+            seen.update(video.video_id for video in row.returned)
+        return len(seen)
+
+    def split(self, train_ratio: float = 0.7,
+              rng=None) -> tuple["StolenRankingDataset", "StolenRankingDataset"]:
+        """Random 7:3 row split (paper's surrogate train/test protocol)."""
+        rng = seeded_rng(rng)
+        order = rng.permutation(len(self.rows))
+        cut = int(round(train_ratio * len(self.rows)))
+        train_rows = [self.rows[i] for i in order[:cut]]
+        test_rows = [self.rows[i] for i in order[cut:]]
+        return (
+            StolenRankingDataset(train_rows, self.queries_spent),
+            StolenRankingDataset(test_rows, 0),
+        )
+
+    def truncate(self, max_rows: int) -> "StolenRankingDataset":
+        """Keep only the first ``max_rows`` rows (surrogate-size sweeps)."""
+        return StolenRankingDataset(self.rows[:max_rows], self.queries_spent)
+
+
+def steal_training_set(service: RetrievalService, seed_videos: list[Video],
+                       video_lookup: dict[str, Video], rounds: int = 3,
+                       branch: int = 3, rng=None) -> StolenRankingDataset:
+    """Crawl the victim service and build the stolen dataset ``T``.
+
+    Parameters
+    ----------
+    service:
+        The black-box victim service.
+    seed_videos:
+        The attacker's pool of random probe videos (``v_r`` candidates).
+    video_lookup:
+        id → video map for returned items; models the attacker downloading
+        the publicly served result videos.
+    rounds:
+        ``Z`` — how many seed expansions to perform.
+    branch:
+        ``M`` — how many returned videos to re-query per expansion.
+    """
+    rng = seeded_rng(rng)
+    rows: list[StolenRow] = []
+    queried: set[str] = set()
+    start_count = service.query_count
+
+    def query_once(video: Video) -> StolenRow | None:
+        if video.video_id in queried:
+            return None
+        queried.add(video.video_id)
+        result = service.query(video)
+        returned = [
+            video_lookup[entry.video_id]
+            for entry in result
+            if entry.video_id in video_lookup
+        ]
+        row = StolenRow(query=video, returned=returned)
+        rows.append(row)
+        return row
+
+    seeds = list(seed_videos)
+    rng.shuffle(seeds)
+    for round_index in range(int(rounds)):
+        if round_index >= len(seeds):
+            break
+        root_row = query_once(seeds[round_index])
+        if root_row is None or not root_row.returned:
+            continue
+        # Step 2: uniformly select M returned videos and query each.
+        pool = root_row.returned
+        picks = rng.choice(len(pool), size=min(int(branch), len(pool)),
+                           replace=False)
+        for pick in picks:
+            query_once(pool[int(pick)])
+
+    return StolenRankingDataset(rows, service.query_count - start_count)

@@ -1,0 +1,83 @@
+"""Training the surrogate model ``S(·)`` on the stolen ranking dataset.
+
+Optimizes the ranked-triplet loss of Section IV-B-1 (margin γ = 0.2):
+the surrogate's embedding must order each stolen result list by distance
+to its query, reproducing the victim's ranking geometry.  (The paper
+prints the objective as an ``arg max``; as in all margin-ranking
+formulations the trained direction is the *minimization* of the hinge on
+mis-ordered pairs, which is what we do.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.losses.triplet import RankedListTripletLoss
+from repro.models.feature_extractor import FeatureExtractor
+from repro.models.registry import create_feature_extractor
+from repro.nn import Adam, Tensor
+from repro.surrogate.stealing import StolenRankingDataset
+from repro.utils.logging import get_logger
+from repro.utils.seeding import seeded_rng
+from repro.video.types import to_model_input
+
+logger = get_logger("surrogate")
+
+
+@dataclass
+class SurrogateTrainer:
+    """Fit a surrogate extractor to a stolen ranking dataset."""
+
+    margin: float = 0.2
+    lr: float = 5e-3
+    epochs: int = 6
+    rng: object = None
+
+    history: list[float] = field(default_factory=list)
+
+    def train(self, surrogate: FeatureExtractor,
+              dataset: StolenRankingDataset) -> list[float]:
+        """Run the optimization; returns per-epoch mean losses."""
+        rng = seeded_rng(self.rng)
+        loss_fn = RankedListTripletLoss(margin=self.margin)
+        optimizer = Adam(surrogate.parameters(), lr=self.lr)
+        surrogate.train()
+        for epoch in range(self.epochs):
+            epoch_losses = []
+            order = rng.permutation(len(dataset.rows))
+            for row_index in order:
+                row = dataset.rows[int(row_index)]
+                if len(row.returned) < 2:
+                    continue
+                batch = [row.query] + row.returned
+                inputs = Tensor(to_model_input(batch))
+                optimizer.zero_grad()
+                embeddings = surrogate(inputs)
+                loss = loss_fn(embeddings[0], embeddings[1:])
+                if not loss.requires_grad:
+                    continue
+                loss.backward()
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            mean_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+            self.history.append(mean_loss)
+            logger.info("surrogate epoch %d/%d loss=%.4f",
+                        epoch + 1, self.epochs, mean_loss)
+        surrogate.eval()
+        return self.history
+
+
+def train_surrogate(dataset: StolenRankingDataset, backbone: str = "c3d",
+                    feature_dim: int = 64, width: int = 4, epochs: int = 6,
+                    lr: float = 5e-3, seed: int = 0) -> FeatureExtractor:
+    """Build and train a surrogate extractor in one call."""
+    rng = seeded_rng(seed)
+    surrogate = create_feature_extractor(
+        backbone, feature_dim=feature_dim, width=width, rng=rng
+    )
+    trainer = SurrogateTrainer(lr=lr, epochs=epochs, rng=rng)
+    trainer.train(surrogate, dataset)
+    surrogate.requires_grad_(False)
+    return surrogate

@@ -1,0 +1,11 @@
+"""Model training: metric-loss victim training and system assembly."""
+
+from repro.training.trainer import MetricTrainer, TrainingHistory
+from repro.training.victim import VictimSystem, build_victim_system
+
+__all__ = [
+    "MetricTrainer",
+    "TrainingHistory",
+    "VictimSystem",
+    "build_victim_system",
+]

@@ -1,0 +1,63 @@
+"""Victim-system assembly: train a model and stand up the retrieval service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.losses.registry import create_loss
+from repro.models.registry import create_feature_extractor
+from repro.retrieval.engine import RetrievalEngine
+from repro.retrieval.service import RetrievalService
+from repro.training.trainer import MetricTrainer, TrainingHistory
+from repro.utils.seeding import SeedSequence
+from repro.video.datasets import SyntheticVideoDataset
+from repro.video.types import Video
+
+
+@dataclass
+class VictimSystem:
+    """A fully assembled victim: engine (owner view) + service (attacker view).
+
+    ``video_lookup`` maps gallery ids back to videos — the public content a
+    real attacker could download after seeing a retrieval list.
+    """
+
+    engine: RetrievalEngine
+    service: RetrievalService
+    gallery_videos: list[Video]
+    history: TrainingHistory
+
+    @property
+    def video_lookup(self) -> dict[str, Video]:
+        return {video.video_id: video for video in self.gallery_videos}
+
+
+def build_victim_system(dataset: SyntheticVideoDataset, backbone: str = "i3d",
+                        loss: str = "arcface", feature_dim: int = 64,
+                        width: int = 4, m: int = 10, num_nodes: int = 4,
+                        epochs: int = 8, lr: float = 5e-3,
+                        similarity: str = "l2", seed: int = 0) -> VictimSystem:
+    """Train a victim feature extractor and index the training gallery.
+
+    Mirrors the paper's setup: the victim model is trained on the dataset
+    train split with a metric loss, and the train split doubles as the
+    retrieval gallery.
+    """
+    seeds = SeedSequence(seed)
+    extractor = create_feature_extractor(
+        backbone, feature_dim=feature_dim, width=width,
+        rng=seeds.rng("model", backbone),
+    )
+    loss_fn = create_loss(loss, dataset.num_classes, feature_dim,
+                          rng=seeds.rng("loss", loss))
+    trainer = MetricTrainer(loss_fn, lr=lr, epochs=epochs,
+                            rng=seeds.rng("trainer"))
+    history = trainer.train(extractor, dataset.train)
+    extractor.requires_grad_(False)
+
+    engine = RetrievalEngine(extractor, similarity=similarity,
+                             num_nodes=num_nodes)
+    engine.index_videos(dataset.train)
+    service = RetrievalService(engine, m=m)
+    return VictimSystem(engine=engine, service=service,
+                        gallery_videos=list(dataset.train), history=history)

@@ -1,0 +1,13 @@
+"""Shared utilities: deterministic seeding, lightweight logging, timing."""
+
+from repro.utils.seeding import SeedSequence, seeded_rng, set_global_seed
+from repro.utils.logging import get_logger
+from repro.utils.timing import Timer
+
+__all__ = [
+    "SeedSequence",
+    "seeded_rng",
+    "set_global_seed",
+    "get_logger",
+    "Timer",
+]

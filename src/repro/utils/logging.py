@@ -1,0 +1,27 @@
+"""Lightweight logging configured once per process."""
+
+from __future__ import annotations
+
+import logging
+import os
+
+_CONFIGURED = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a namespaced logger under the ``repro`` hierarchy.
+
+    Log level is controlled by the ``REPRO_LOG_LEVEL`` environment variable
+    (default ``WARNING`` so test runs stay quiet).
+    """
+    global _CONFIGURED
+    if not _CONFIGURED:
+        level = os.environ.get("REPRO_LOG_LEVEL", "WARNING").upper()
+        logging.basicConfig(
+            level=getattr(logging, level, logging.WARNING),
+            format="%(asctime)s %(name)s %(levelname)s: %(message)s",
+        )
+        _CONFIGURED = True
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,43 @@
+"""Video data substrate.
+
+Provides the :class:`~repro.video.types.Video` container used across the
+library, procedural per-class motion generators, and synthetic stand-ins
+for the UCF101 and HMDB51 benchmarks (see DESIGN.md for the substitution
+rationale).
+"""
+
+from repro.video.types import Video, to_model_input, from_model_input
+from repro.video.motion import MotionClassSpec, render_clip, class_spec
+from repro.video.datasets import (
+    DatasetSpec,
+    SyntheticVideoDataset,
+    load_dataset,
+    UCF101_SPEC,
+    HMDB51_SPEC,
+)
+from repro.video.transforms import (
+    uniform_temporal_sample,
+    quantize_uint8,
+    dequantize_uint8,
+    normalize_clip,
+)
+from repro.video.resize import resize_video
+
+__all__ = [
+    "Video",
+    "to_model_input",
+    "from_model_input",
+    "MotionClassSpec",
+    "render_clip",
+    "class_spec",
+    "DatasetSpec",
+    "SyntheticVideoDataset",
+    "load_dataset",
+    "UCF101_SPEC",
+    "HMDB51_SPEC",
+    "uniform_temporal_sample",
+    "quantize_uint8",
+    "dequantize_uint8",
+    "normalize_clip",
+    "resize_video",
+]

@@ -1,0 +1,184 @@
+"""Synthetic stand-ins for the UCF101 and HMDB51 benchmarks.
+
+The paper evaluates on UCF101 (9,324 train / 3,996 test / 101 classes) and
+HMDB51 (4,900 / 2,100 / 51).  Those corpora cannot be shipped here, so
+:class:`SyntheticVideoDataset` procedurally generates class-separable
+action clips (see :mod:`repro.video.motion`).  The *full-scale* specs are
+preserved in :data:`UCF101_SPEC` / :data:`HMDB51_SPEC`; the default loader
+scales counts and resolution down so the complete experiment grid runs on
+one CPU core, keeping the train/test ratio and the UCF>HMDB size ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.utils.seeding import SeedSequence
+from repro.video.motion import class_spec, render_clip
+from repro.video.types import Video
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of a dataset configuration (Table I analog)."""
+
+    name: str
+    num_classes: int
+    train_videos: int
+    test_videos: int
+    num_frames: int = 16
+    height: int = 112
+    width: int = 112
+
+    def scaled(self, num_classes: int, train_videos: int, test_videos: int,
+               height: int, width: int, num_frames: int | None = None) -> "DatasetSpec":
+        """Return a resource-scaled copy preserving the dataset identity."""
+        return replace(
+            self,
+            num_classes=num_classes,
+            train_videos=train_videos,
+            test_videos=test_videos,
+            height=height,
+            width=width,
+            num_frames=self.num_frames if num_frames is None else num_frames,
+        )
+
+
+#: Paper-scale dataset descriptions (Table I).
+UCF101_SPEC = DatasetSpec("ucf101", num_classes=101, train_videos=9324, test_videos=3996)
+HMDB51_SPEC = DatasetSpec("hmdb51", num_classes=51, train_videos=4900, test_videos=2100)
+
+_SPECS = {spec.name: spec for spec in (UCF101_SPEC, HMDB51_SPEC)}
+
+#: Default CPU-scale shrink factors (see DESIGN.md §5).
+_DEFAULT_SCALE = {
+    "ucf101": dict(num_classes=10, train_videos=80, test_videos=30, height=32, width=32),
+    "hmdb51": dict(num_classes=6, train_videos=42, test_videos=18, height=32, width=32),
+}
+
+
+class SyntheticVideoDataset:
+    """Procedurally generated, class-separable video dataset.
+
+    Videos are created lazily per split and cached.  All randomness is
+    derived from ``seed`` so two datasets built with the same arguments are
+    identical.
+    """
+
+    def __init__(self, spec: DatasetSpec, seed: int = 0) -> None:
+        if spec.train_videos < spec.num_classes:
+            raise ValueError("need at least one training video per class")
+        self.spec = spec
+        self.seed = int(seed)
+        self._seeds = SeedSequence(self.seed)
+        self._cache: dict[str, list[Video]] = {}
+
+    # -------------------------------------------------------------- #
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def num_classes(self) -> int:
+        return self.spec.num_classes
+
+    def _class_offset(self) -> int:
+        # Distinct datasets draw from disjoint class-recipe ranges so a
+        # "ucf" class never aliases an "hmdb" class.
+        return 0 if self.spec.name == "ucf101" else 500
+
+    def _generate_split(self, split: str, count: int) -> list[Video]:
+        spec = self.spec
+        offset = self._class_offset()
+        videos: list[Video] = []
+        for i in range(count):
+            label = i % spec.num_classes
+            rng = self._seeds.rng(split, i)
+            clip = render_clip(
+                class_spec(offset + label),
+                num_frames=spec.num_frames,
+                height=spec.height,
+                width=spec.width,
+                rng=rng,
+            )
+            videos.append(
+                Video(clip, label=label, video_id=f"{spec.name}/{split}/{i:05d}")
+            )
+        return videos
+
+    def split(self, name: str) -> list[Video]:
+        """Return the ``"train"`` or ``"test"`` split (cached)."""
+        if name not in ("train", "test"):
+            raise ValueError(f"unknown split {name!r}")
+        if name not in self._cache:
+            count = self.spec.train_videos if name == "train" else self.spec.test_videos
+            self._cache[name] = self._generate_split(name, count)
+        return self._cache[name]
+
+    @property
+    def train(self) -> list[Video]:
+        return self.split("train")
+
+    @property
+    def test(self) -> list[Video]:
+        return self.split("test")
+
+    # -------------------------------------------------------------- #
+    def sample_attack_pairs(self, count: int, rng_or_seed=0) -> list[tuple[Video, Video]]:
+        """Sample ``count`` (original, target) pairs with different labels.
+
+        Mirrors the paper's evaluation protocol: "we randomly choose ten
+        pairs of two videos from the training dataset: one as the original
+        video and the other as the target video."
+        """
+        rng = SeedSequence(self.seed).rng("pairs", rng_or_seed)
+        train = self.train
+        pairs: list[tuple[Video, Video]] = []
+        attempts = 0
+        while len(pairs) < count:
+            a, b = rng.choice(len(train), size=2, replace=False)
+            if train[a].label != train[b].label:
+                pairs.append((train[a], train[b]))
+            attempts += 1
+            if attempts > 100 * count:
+                raise RuntimeError("could not sample label-distinct pairs")
+        return pairs
+
+
+def load_dataset(name: str, *, seed: int = 0, paper_scale: bool = False,
+                 **overrides) -> SyntheticVideoDataset:
+    """Load a synthetic dataset by benchmark name.
+
+    Parameters
+    ----------
+    name:
+        ``"ucf101"`` or ``"hmdb51"``.
+    paper_scale:
+        If true, use the full Table-I sizes (slow: tens of thousands of
+        112×112 clips).  Default uses the CPU-scale shrink in
+        ``_DEFAULT_SCALE``; individual fields can be overridden by keyword
+        (``num_classes=…``, ``height=…``, ...).
+    """
+    key = name.lower()
+    if key not in _SPECS:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(_SPECS)}")
+    spec = _SPECS[key]
+    if not paper_scale:
+        params = dict(_DEFAULT_SCALE[key])
+        params.update(overrides)
+        spec = spec.scaled(**params)
+    elif overrides:
+        spec = spec.scaled(**{**_spec_fields(spec), **overrides})
+    return SyntheticVideoDataset(spec, seed=seed)
+
+
+def _spec_fields(spec: DatasetSpec) -> dict:
+    return dict(
+        num_classes=spec.num_classes,
+        train_videos=spec.train_videos,
+        test_videos=spec.test_videos,
+        height=spec.height,
+        width=spec.width,
+    )

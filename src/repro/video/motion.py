@@ -1,0 +1,156 @@
+"""Procedural action-class motion generators.
+
+Each synthetic action class is a deterministic parametric recipe — sprite
+shape, base colour, motion law (translation, oscillation, circular orbit,
+scaling "zoom", or shear), speed and direction — derived from the class
+index.  Individual videos of a class vary by instance-level jitter (start
+position, phase, texture noise), so a class forms a cluster in any
+reasonable spatio-temporal feature space: exactly the property the
+retrieval models and attacks rely on (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.seeding import seeded_rng
+
+_MOTIONS = ("translate", "oscillate", "orbit", "zoom", "shear")
+_SHAPES = ("square", "disc", "bar", "cross")
+
+
+@dataclass(frozen=True)
+class MotionClassSpec:
+    """Deterministic recipe describing one synthetic action class."""
+
+    class_index: int
+    motion: str
+    shape: str
+    color: tuple[float, float, float]
+    direction: float  # radians
+    speed: float  # fraction of frame size traversed per clip
+    size: float  # sprite radius as a fraction of frame size
+    frequency: float  # oscillation / orbit cycles per clip
+    background_tone: float
+
+
+def class_spec(class_index: int) -> MotionClassSpec:
+    """Derive the deterministic :class:`MotionClassSpec` for a class index."""
+    rng = seeded_rng(910_000 + int(class_index))
+    hue = rng.uniform(0.0, 1.0)
+    color = _hsv_to_rgb(hue, 0.85, 0.95)
+    return MotionClassSpec(
+        class_index=int(class_index),
+        motion=_MOTIONS[class_index % len(_MOTIONS)],
+        shape=_SHAPES[(class_index // len(_MOTIONS)) % len(_SHAPES)],
+        color=color,
+        direction=float(rng.uniform(0.0, 2.0 * np.pi)),
+        speed=float(rng.uniform(0.35, 0.8)),
+        size=float(rng.uniform(0.14, 0.24)),
+        frequency=float(rng.uniform(1.0, 2.5)),
+        background_tone=float(rng.uniform(0.25, 0.7)),
+    )
+
+
+def _hsv_to_rgb(h: float, s: float, v: float) -> tuple[float, float, float]:
+    i = int(h * 6.0) % 6
+    f = h * 6.0 - int(h * 6.0)
+    p, q, t = v * (1 - s), v * (1 - f * s), v * (1 - (1 - f) * s)
+    return [(v, t, p), (q, v, p), (p, v, t), (p, q, v), (t, p, v), (v, p, q)][i]
+
+
+def _sprite_mask(shape: str, yy: np.ndarray, xx: np.ndarray,
+                 cy: float, cx: float, radius: float, angle: float) -> np.ndarray:
+    """Soft occupancy mask of a sprite centred at ``(cy, cx)``."""
+    dy, dx = yy - cy, xx - cx
+    # Rotate coordinates so bars/crosses spin with the motion angle.
+    ry = dy * np.cos(angle) - dx * np.sin(angle)
+    rx = dy * np.sin(angle) + dx * np.cos(angle)
+    if shape == "disc":
+        dist = np.sqrt(dy**2 + dx**2)
+        return np.clip((radius - dist) / (0.3 * radius + 1e-9), 0.0, 1.0)
+    if shape == "square":
+        dist = np.maximum(np.abs(ry), np.abs(rx))
+        return np.clip((radius - dist) / (0.3 * radius + 1e-9), 0.0, 1.0)
+    if shape == "bar":
+        inside = (np.abs(ry) < radius * 0.35) & (np.abs(rx) < radius * 1.4)
+        return inside.astype(float)
+    if shape == "cross":
+        arm1 = (np.abs(ry) < radius * 0.3) & (np.abs(rx) < radius * 1.2)
+        arm2 = (np.abs(rx) < radius * 0.3) & (np.abs(ry) < radius * 1.2)
+        return (arm1 | arm2).astype(float)
+    raise ValueError(f"unknown sprite shape {shape!r}")
+
+
+def _sprite_center(spec: MotionClassSpec, progress: float,
+                   start: tuple[float, float], phase: float) -> tuple[float, float, float]:
+    """Return ``(cy, cx, extra_angle)`` at clip ``progress`` in [0, 1]."""
+    sy, sx = start
+    if spec.motion == "translate":
+        cy = sy + spec.speed * progress * np.sin(spec.direction)
+        cx = sx + spec.speed * progress * np.cos(spec.direction)
+        return cy % 1.0, cx % 1.0, 0.0
+    if spec.motion == "oscillate":
+        swing = 0.5 * spec.speed * np.sin(2 * np.pi * spec.frequency * progress + phase)
+        cy = sy + swing * np.sin(spec.direction)
+        cx = sx + swing * np.cos(spec.direction)
+        return cy % 1.0, cx % 1.0, 0.0
+    if spec.motion == "orbit":
+        angle = 2 * np.pi * spec.frequency * progress + phase
+        cy = sy + 0.5 * spec.speed * np.sin(angle)
+        cx = sx + 0.5 * spec.speed * np.cos(angle)
+        return cy % 1.0, cx % 1.0, angle
+    if spec.motion == "zoom":
+        return sy, sx, 0.0
+    if spec.motion == "shear":
+        cy = sy
+        cx = (sx + spec.speed * progress) % 1.0
+        return cy, cx, 2 * np.pi * spec.frequency * progress
+    raise ValueError(f"unknown motion {spec.motion!r}")
+
+
+def render_clip(spec: MotionClassSpec, num_frames: int, height: int, width: int,
+                rng: np.random.Generator | int | None = None,
+                noise: float = 0.05, color_jitter: float = 0.18) -> np.ndarray:
+    """Render one ``(N, H, W, 3)`` clip of the given class.
+
+    Instance-level randomness (start position, phase, background texture,
+    sprite-colour jitter, pixel noise) comes from ``rng``; class-level
+    appearance and the motion law come from ``spec``.  The jitter keeps
+    classes from being trivially colour-separable — real action classes
+    share appearance statistics, and retrieval models must rely on motion
+    too.
+    """
+    rng = seeded_rng(rng)
+    yy, xx = np.meshgrid(
+        np.linspace(0.0, 1.0, height), np.linspace(0.0, 1.0, width), indexing="ij"
+    )
+    start = (float(rng.uniform(0.25, 0.75)), float(rng.uniform(0.25, 0.75)))
+    phase = float(rng.uniform(0.0, 2.0 * np.pi))
+
+    # Static textured background shared by all frames of the instance.
+    tone = spec.background_tone
+    texture = 0.08 * np.sin(
+        2 * np.pi * (yy * rng.uniform(1.0, 3.0) + xx * rng.uniform(1.0, 3.0))
+        + rng.uniform(0, 2 * np.pi)
+    )
+    background = np.clip(tone + texture, 0.0, 1.0)
+
+    clip = np.empty((num_frames, height, width, 3), dtype=np.float64)
+    color = np.asarray(spec.color)
+    if color_jitter > 0.0:
+        color = np.clip(color + rng.normal(0.0, color_jitter, size=3), 0.0, 1.0)
+    for f in range(num_frames):
+        progress = f / max(num_frames - 1, 1)
+        cy, cx, angle = _sprite_center(spec, progress, start, phase)
+        radius = spec.size
+        if spec.motion == "zoom":
+            radius = spec.size * (0.6 + 0.8 * progress)
+        mask = _sprite_mask(spec.shape, yy, xx, cy, cx, radius, angle)
+        frame = background[..., None] * (1.0 - mask[..., None]) + color * mask[..., None]
+        clip[f] = frame
+    if noise > 0.0:
+        clip += rng.normal(0.0, noise, size=clip.shape)
+    return np.clip(clip, 0.0, 1.0)

@@ -1,0 +1,41 @@
+"""Bilinear spatial resizing of videos.
+
+Real retrieval services normalize uploads to a fixed resolution (the
+paper's models consume 112×112).  :func:`resize_video` provides that
+preprocessing step for arbitrary input sizes, implemented as separable
+bilinear interpolation in pure numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.video.types import Video
+
+
+def _bilinear_axis(pixels: np.ndarray, new_size: int, axis: int) -> np.ndarray:
+    """Resample one spatial axis with bilinear weights (align_corners=False)."""
+    old_size = pixels.shape[axis]
+    if old_size == new_size:
+        return pixels
+    # Pixel-center sampling positions in the source grid.
+    positions = (np.arange(new_size) + 0.5) * (old_size / new_size) - 0.5
+    positions = np.clip(positions, 0.0, old_size - 1.0)
+    lower = np.floor(positions).astype(int)
+    upper = np.minimum(lower + 1, old_size - 1)
+    weight = (positions - lower).reshape(
+        [-1 if i == axis else 1 for i in range(pixels.ndim)]
+    )
+    lower_vals = np.take(pixels, lower, axis=axis)
+    upper_vals = np.take(pixels, upper, axis=axis)
+    return lower_vals * (1.0 - weight) + upper_vals * weight
+
+
+def resize_video(video: Video, height: int, width: int) -> Video:
+    """Return a bilinearly resized copy with frames ``height × width``."""
+    if height < 1 or width < 1:
+        raise ValueError("target size must be positive")
+    pixels = _bilinear_axis(video.pixels, height, axis=1)
+    pixels = _bilinear_axis(pixels, width, axis=2)
+    return Video(np.clip(pixels, 0.0, 1.0), video.label, video.video_id,
+                 dict(video.metadata))

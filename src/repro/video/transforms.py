@@ -1,0 +1,39 @@
+"""Clip-level transforms: temporal sampling, quantization, normalization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.video.types import Video
+
+
+def uniform_temporal_sample(video: Video, num_frames: int) -> Video:
+    """Uniformly sample a ``num_frames``-frame snippet (paper follows [1]).
+
+    If the clip is shorter than ``num_frames`` the last frame is repeated.
+    """
+    total = video.num_frames
+    if total >= num_frames:
+        indices = np.linspace(0, total - 1, num_frames).round().astype(int)
+    else:
+        indices = np.concatenate(
+            [np.arange(total), np.full(num_frames - total, total - 1, dtype=int)]
+        )
+    return Video(video.pixels[indices], video.label, video.video_id,
+                 dict(video.metadata))
+
+
+def quantize_uint8(video: Video) -> np.ndarray:
+    """Quantize pixels to 8-bit integers (as served by a real video API)."""
+    return np.clip(np.rint(video.pixels * 255.0), 0, 255).astype(np.uint8)
+
+
+def dequantize_uint8(pixels: np.ndarray, label: int = -1,
+                     video_id: str = "") -> Video:
+    """Invert :func:`quantize_uint8` back into a float video."""
+    return Video(pixels.astype(np.float64) / 255.0, label, video_id)
+
+
+def normalize_clip(video: Video, mean: float = 0.5, std: float = 0.5) -> np.ndarray:
+    """Standardize pixels (used at model input boundaries)."""
+    return (video.pixels - mean) / std

@@ -1,0 +1,96 @@
+"""The :class:`Video` container and model-layout conversions.
+
+Videos follow the paper's convention ``v ∈ R^{N×W×H×C}``: an array of
+``N`` frames, each ``W×H`` with ``C`` channels, with pixel values in
+``[0, 1]``.  Models consume the channels-first layout ``(C, N, H, W)``
+produced by :func:`to_model_input`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Video:
+    """A single video clip.
+
+    Attributes
+    ----------
+    pixels:
+        ``(N, H, W, C)`` float array with values in ``[0, 1]``.
+    label:
+        Integer action-class label (``-1`` when unknown).
+    video_id:
+        Stable identifier used by galleries and retrieval lists.
+    """
+
+    pixels: np.ndarray
+    label: int = -1
+    video_id: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.pixels = np.asarray(self.pixels, dtype=np.float64)
+        if self.pixels.ndim != 4:
+            raise ValueError(
+                f"video pixels must be (N, H, W, C), got shape {self.pixels.shape}"
+            )
+
+    @property
+    def num_frames(self) -> int:
+        return self.pixels.shape[0]
+
+    @property
+    def frame_shape(self) -> tuple[int, int, int]:
+        """Return ``(H, W, C)`` of a single frame."""
+        return self.pixels.shape[1:]
+
+    @property
+    def num_pixels_per_frame(self) -> int:
+        """``B`` in the paper: number of pixel *values* per frame (H·W·C)."""
+        height, width, channels = self.frame_shape
+        return height * width * channels
+
+    def copy(self) -> "Video":
+        """Deep-copy pixels; label/id/metadata are shared immutables."""
+        return Video(self.pixels.copy(), self.label, self.video_id, dict(self.metadata))
+
+    def clipped(self, low: float = 0.0, high: float = 1.0) -> "Video":
+        """Return a copy with pixels clamped to the valid range."""
+        return Video(np.clip(self.pixels, low, high), self.label, self.video_id,
+                     dict(self.metadata))
+
+    def perturbed(self, perturbation: np.ndarray, clip: bool = True) -> "Video":
+        """Return ``v + φ``, optionally clamped to ``[0, 1]``.
+
+        The returned video keeps this video's label and gets a derived id.
+        """
+        pixels = self.pixels + perturbation
+        if clip:
+            pixels = np.clip(pixels, 0.0, 1.0)
+        return Video(pixels, self.label, f"{self.video_id}+adv", dict(self.metadata))
+
+    def perturbation_from(self, original: "Video") -> np.ndarray:
+        """Return ``φ = self − original`` as a raw array."""
+        if self.pixels.shape != original.pixels.shape:
+            raise ValueError("videos must share a shape to diff them")
+        return self.pixels - original.pixels
+
+
+def to_model_input(videos: Video | list[Video]) -> np.ndarray:
+    """Convert video(s) to the model batch layout ``(B, C, N, H, W)``."""
+    if isinstance(videos, Video):
+        videos = [videos]
+    batch = np.stack([v.pixels for v in videos])  # (B, N, H, W, C)
+    return np.ascontiguousarray(batch.transpose(0, 4, 1, 2, 3))
+
+
+def from_model_input(batch: np.ndarray) -> list[Video]:
+    """Invert :func:`to_model_input` (labels/ids are not recoverable)."""
+    if batch.ndim != 5:
+        raise ValueError(f"expected (B, C, N, H, W), got shape {batch.shape}")
+    frames_first = batch.transpose(0, 2, 3, 4, 1)
+    return [Video(clip) for clip in frames_first]

@@ -1,0 +1,86 @@
+"""Tests for the lp-box ADMM pixel selector and frame selector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.duo import lp_box_admm_select, select_top_frames
+
+
+class TestLpBoxAdmm:
+    def test_exact_cardinality(self, rng):
+        utility = rng.normal(size=(4, 5))
+        mask = lp_box_admm_select(utility, k=7)
+        assert mask.sum() == 7
+        assert set(np.unique(mask)).issubset({0.0, 1.0})
+
+    def test_selects_top_utilities_linear_case(self, rng):
+        utility = np.arange(20.0)
+        mask = lp_box_admm_select(utility, k=5)
+        assert set(np.flatnonzero(mask)) == {15, 16, 17, 18, 19}
+
+    def test_k_zero(self):
+        assert lp_box_admm_select(np.ones(10), k=0).sum() == 0
+
+    def test_k_full(self):
+        assert lp_box_admm_select(np.ones(10), k=10).sum() == 10
+
+    def test_k_out_of_range(self):
+        with pytest.raises(ValueError):
+            lp_box_admm_select(np.ones(5), k=6)
+
+    def test_shape_preserved(self, rng):
+        utility = rng.normal(size=(2, 3, 4))
+        assert lp_box_admm_select(utility, k=5).shape == (2, 3, 4)
+
+    def test_all_equal_utilities_still_valid(self):
+        mask = lp_box_admm_select(np.zeros(12), k=4)
+        assert mask.sum() == 4
+
+    def test_negative_utilities(self, rng):
+        utility = -np.abs(rng.normal(size=30)) - 1.0
+        mask = lp_box_admm_select(utility, k=3)
+        assert mask.sum() == 3
+        # Should still prefer the least-negative entries.
+        chosen = np.flatnonzero(mask)
+        threshold = np.sort(utility)[-3]
+        assert np.all(utility[chosen] >= threshold - 1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 30), st.integers(0, 30), st.integers(0, 10_000))
+    def test_cardinality_property(self, size, k, seed):
+        k = min(k, size)
+        utility = np.random.default_rng(seed).normal(size=size)
+        mask = lp_box_admm_select(utility, k=k)
+        assert int(mask.sum()) == k
+
+
+class TestSelectTopFrames:
+    def test_scalar_scores(self):
+        mask = select_top_frames(np.array([0.1, 0.9, 0.5, 0.2]), n=2)
+        np.testing.assert_array_equal(mask, [0, 1, 1, 0])
+
+    def test_row_scores_by_l2(self, rng):
+        scores = np.zeros((3, 4))
+        scores[2] = 5.0
+        scores[0] = 1.0
+        mask = select_top_frames(scores, n=1)
+        np.testing.assert_array_equal(mask, [0, 0, 1])
+
+    def test_n_out_of_range(self):
+        with pytest.raises(ValueError):
+            select_top_frames(np.ones(4), n=5)
+        with pytest.raises(ValueError):
+            select_top_frames(np.ones(4), n=0)
+
+    def test_n_equals_frames(self):
+        assert select_top_frames(np.ones(4), n=4).sum() == 4
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 12), st.integers(0, 10_000))
+    def test_mask_cardinality(self, frames, seed):
+        rng = np.random.default_rng(seed)
+        n = rng.integers(1, frames + 1)
+        mask = select_top_frames(rng.normal(size=(frames, 5)), n=int(n))
+        assert int(mask.sum()) == n

@@ -1,0 +1,48 @@
+"""Tests for the TransferPriors container."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.duo import TransferPriors
+
+
+def test_fresh_initialization():
+    priors = TransferPriors.fresh((4, 3, 3, 3))
+    assert priors.pixel_mask.sum() == 4 * 27
+    assert priors.frame_mask.sum() == 4
+    assert np.all(priors.theta == 0.0)
+
+
+def test_perturbation_composition(rng):
+    theta = rng.normal(size=(4, 2, 2, 3))
+    pixel_mask = (rng.random((4, 2, 2, 3)) > 0.5).astype(float)
+    frame_mask = np.array([1.0, 0.0, 1.0, 0.0])
+    priors = TransferPriors(pixel_mask, frame_mask, theta)
+    phi = priors.perturbation()
+    np.testing.assert_array_equal(phi[1], 0.0)
+    np.testing.assert_array_equal(phi[3], 0.0)
+    np.testing.assert_allclose(phi[0], pixel_mask[0] * theta[0])
+
+
+def test_support_matches_nonzero(rng):
+    priors = TransferPriors(
+        np.ones((2, 2, 2, 3)), np.array([1.0, 0.0]),
+        rng.normal(size=(2, 2, 2, 3)),
+    )
+    support = priors.support()
+    assert support[0].all()
+    assert not support[1].any()
+
+
+def test_shape_validation(rng):
+    with pytest.raises(ValueError):
+        TransferPriors(np.ones((2, 2, 2, 3)), np.ones(2),
+                       np.zeros((3, 2, 2, 3)))
+    with pytest.raises(ValueError):
+        TransferPriors(np.ones((2, 2, 2, 3)), np.ones(5),
+                       np.zeros((2, 2, 2, 3)))
+
+
+def test_broadcast_frame_mask_shape():
+    priors = TransferPriors.fresh((5, 2, 2, 3))
+    assert priors.broadcast_frame_mask.shape == (5, 1, 1, 1)

@@ -1,0 +1,70 @@
+"""Property-based tests for the perturbation projection helpers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.attacks.base import clip_video_range, project_l2, project_linf
+
+perturbations = arrays(
+    np.float64, (2, 3, 3, 3),
+    elements=st.floats(-2.0, 2.0, allow_nan=False, allow_infinity=False),
+)
+pixels = arrays(
+    np.float64, (2, 3, 3, 3),
+    elements=st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(perturbations, st.floats(0.01, 1.0))
+def test_linf_projection_bound(phi, tau):
+    projected = project_linf(phi, tau)
+    assert np.abs(projected).max() <= tau + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(perturbations, st.floats(0.01, 1.0))
+def test_linf_projection_idempotent(phi, tau):
+    once = project_linf(phi, tau)
+    np.testing.assert_array_equal(project_linf(once, tau), once)
+
+
+@settings(max_examples=40, deadline=None)
+@given(perturbations, st.floats(0.01, 5.0))
+def test_l2_projection_bound(phi, radius):
+    projected = project_l2(phi, radius)
+    assert np.linalg.norm(projected) <= radius + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(perturbations, st.floats(0.01, 5.0))
+def test_l2_projection_preserves_direction(phi, radius):
+    projected = project_l2(phi, radius)
+    # Colinear: cross terms match norms product.
+    dot = float((phi * projected).sum())
+    assert dot >= -1e-9  # never flips sign
+
+
+@settings(max_examples=40, deadline=None)
+@given(pixels, perturbations)
+def test_clip_video_range_validity(base, phi):
+    clipped = clip_video_range(base, phi)
+    result = base + clipped
+    assert result.min() >= -1e-12
+    assert result.max() <= 1.0 + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(pixels, perturbations)
+def test_clip_video_range_never_grows(base, phi):
+    clipped = clip_video_range(base, phi)
+    assert np.all(np.abs(clipped) <= np.abs(phi) + 1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pixels, perturbations)
+def test_clip_video_range_noop_when_valid(base, phi):
+    scaled = phi * 0.0
+    np.testing.assert_array_equal(clip_video_range(base, scaled), scaled)

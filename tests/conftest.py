@@ -1,0 +1,56 @@
+"""Shared test fixtures: a tiny victim system built once per session."""
+
+import os
+
+# Keep BLAS single-threaded before numpy loads (1-core CI machines).
+for _var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import numpy as np
+import pytest
+
+from repro.models import create_feature_extractor
+from repro.surrogate import steal_training_set, train_surrogate
+from repro.training import build_victim_system
+from repro.video import load_dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A minimal synthetic dataset shared by integration-ish tests."""
+    return load_dataset(
+        "ucf101", num_classes=6, train_videos=24, test_videos=8,
+        height=16, width=16, num_frames=8, seed=11,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_victim(tiny_dataset):
+    """A trained victim system over the tiny dataset (built once)."""
+    return build_victim_system(
+        tiny_dataset, backbone="resnet18", loss="arcface",
+        feature_dim=16, width=2, epochs=1, m=8, num_nodes=3, seed=5,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_surrogate(tiny_dataset, tiny_victim):
+    """A stolen-and-trained surrogate against the tiny victim."""
+    stolen = steal_training_set(
+        tiny_victim.service, tiny_dataset.test, tiny_victim.video_lookup,
+        rounds=2, branch=2, rng=3,
+    )
+    return train_surrogate(stolen, backbone="c3d", feature_dim=16, width=2,
+                           epochs=1, seed=7)
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def attack_pair(tiny_dataset):
+    """One (original, target) evaluation pair."""
+    return tiny_dataset.sample_attack_pairs(1, rng_or_seed=2)[0]

@@ -1,0 +1,117 @@
+"""Tests for feature squeezing, Noise2Self, and the detection harness."""
+
+import numpy as np
+import pytest
+
+from repro.defenses import (
+    FeatureSqueezer,
+    Noise2SelfDenoiser,
+    SqueezeDetector,
+    detection_rate,
+)
+from repro.video import Video
+
+
+class TestFeatureSqueezer:
+    def test_bit_depth_levels(self, rng):
+        video = Video(rng.random((2, 4, 4, 3)))
+        squeezed = FeatureSqueezer(bits=2, median_size=1)(video)
+        unique = np.unique(np.round(squeezed.pixels * 3.0))
+        assert unique.size <= 4
+
+    def test_median_smoothing_removes_salt(self):
+        pixels = np.full((1, 8, 8, 3), 0.5)
+        pixels[0, 4, 4, :] = 1.0  # salt pixel
+        video = Video(pixels)
+        squeezed = FeatureSqueezer(bits=8, median_size=3)(video)
+        assert squeezed.pixels[0, 4, 4, 0] < 1.0
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            FeatureSqueezer(bits=0)
+        with pytest.raises(ValueError):
+            FeatureSqueezer(bits=9)
+
+    def test_preserves_shape_and_label(self, rng):
+        video = Video(rng.random((2, 4, 4, 3)), label=3)
+        squeezed = FeatureSqueezer()(video)
+        assert squeezed.pixels.shape == video.pixels.shape
+        assert squeezed.label == 3
+
+
+class TestNoise2Self:
+    def test_j_invariance(self, rng):
+        # The center pixel must not influence its own prediction.
+        pixels = rng.random((1, 9, 9, 3))
+        video_a = Video(pixels.copy())
+        pixels_b = pixels.copy()
+        pixels_b[0, 4, 4, :] = 0.0
+        video_b = Video(pixels_b)
+        denoiser = Noise2SelfDenoiser(radius=1, strength=1.0)
+        out_a = denoiser(video_a).pixels[0, 4, 4]
+        out_b = denoiser(video_b).pixels[0, 4, 4]
+        np.testing.assert_allclose(out_a, out_b)
+
+    def test_removes_additive_noise(self, rng):
+        clean = np.full((2, 12, 12, 3), 0.5)
+        noise = rng.choice([-0.1, 0.1], size=clean.shape)
+        noisy = Video(np.clip(clean + noise, 0, 1))
+        denoised = Noise2SelfDenoiser(radius=1)(noisy)
+        assert np.abs(denoised.pixels - clean).mean() < \
+            np.abs(noisy.pixels - clean).mean()
+
+    def test_strength_zero_is_identity(self, rng):
+        video = Video(rng.random((1, 6, 6, 3)))
+        out = Noise2SelfDenoiser(strength=0.0)(video)
+        np.testing.assert_allclose(out.pixels, video.pixels)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Noise2SelfDenoiser(radius=0)
+        with pytest.raises(ValueError):
+            Noise2SelfDenoiser(strength=1.5)
+
+    def test_output_in_range(self, rng):
+        video = Video(rng.random((2, 6, 6, 3)))
+        out = Noise2SelfDenoiser()(video)
+        assert out.pixels.min() >= 0.0 and out.pixels.max() <= 1.0
+
+
+class TestSqueezeDetector:
+    @pytest.fixture
+    def detector(self, tiny_victim):
+        return SqueezeDetector(tiny_victim.engine, FeatureSqueezer(), m=6)
+
+    def test_fit_sets_threshold(self, detector, tiny_dataset):
+        threshold = detector.fit(tiny_dataset.test[:6])
+        assert detector.threshold == threshold
+        assert 0.0 <= threshold <= 1.0
+
+    def test_detect_before_fit_raises(self, detector, tiny_dataset):
+        with pytest.raises(RuntimeError):
+            detector.detect(tiny_dataset.test[0])
+
+    def test_clean_videos_mostly_pass(self, detector, tiny_dataset):
+        detector.fit(tiny_dataset.test[:6], false_positive_rate=0.0)
+        flagged = sum(detector.detect(v) for v in tiny_dataset.test[:6])
+        assert flagged == 0
+
+    def test_fit_requires_videos(self, detector):
+        with pytest.raises(ValueError):
+            detector.fit([])
+
+    def test_score_in_unit_interval(self, detector, tiny_dataset):
+        assert 0.0 <= detector.score(tiny_dataset.test[0]) <= 1.0
+
+    def test_detection_rate_bounds(self, detector, tiny_dataset, rng):
+        detector.fit(tiny_dataset.test[:6])
+        noisy = [
+            Video(np.clip(v.pixels + rng.choice([-0.3, 0.3], v.pixels.shape),
+                          0, 1), v.label, v.video_id + "+adv")
+            for v in tiny_dataset.test[:4]
+        ]
+        rate = detection_rate(detector, noisy)
+        assert 0.0 <= rate <= 1.0
+
+    def test_detection_rate_empty(self, detector):
+        assert detection_rate(detector, []) == 0.0

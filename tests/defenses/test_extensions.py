@@ -1,0 +1,146 @@
+"""Tests for the extension defenses: ensemble retrieval + stateful detection."""
+
+import numpy as np
+import pytest
+
+from repro.defenses import EnsembleEngine, StatefulQueryDetector, query_fingerprint
+from repro.models import create_feature_extractor
+from repro.retrieval import RetrievalEngine, RetrievalService
+from repro.video import Video
+
+
+class TestEnsembleEngine:
+    @pytest.fixture(scope="class")
+    def ensemble(self, tiny_victim, tiny_dataset):
+        # Second member: an untrained extractor over the same gallery —
+        # deliberately different geometry.
+        other = create_feature_extractor("c3d", feature_dim=16, width=2,
+                                         rng=99)
+        other.eval()
+        other.requires_grad_(False)
+        second = RetrievalEngine(other, num_nodes=2)
+        second.index_videos(tiny_dataset.train)
+        return EnsembleEngine([tiny_victim.engine, second])
+
+    def test_retrieve_shape(self, ensemble, tiny_dataset):
+        result = ensemble.retrieve(tiny_dataset.test[0], m=5)
+        assert len(result) == 5
+
+    def test_scores_descending(self, ensemble, tiny_dataset):
+        result = ensemble.retrieve(tiny_dataset.test[0], m=6)
+        scores = [entry.score for entry in result]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ValueError):
+            EnsembleEngine([])
+
+    def test_gallery_size(self, ensemble, tiny_dataset):
+        assert ensemble.gallery_size == len(tiny_dataset.train)
+
+    def test_single_member_matches_member(self, tiny_victim, tiny_dataset):
+        solo = EnsembleEngine([tiny_victim.engine])
+        query = tiny_dataset.test[0]
+        fused = solo.retrieve(query, m=5).ids
+        direct = tiny_victim.engine.retrieve(query, m=5).ids
+        assert fused == direct
+
+    def test_works_behind_service(self, ensemble, tiny_dataset):
+        service = RetrievalService(ensemble, m=5)
+        assert len(service.query(tiny_dataset.test[0])) == 5
+
+    def test_fusion_balances_members(self, ensemble, tiny_victim,
+                                     tiny_dataset):
+        # The fused list should not be identical to either member alone
+        # when members disagree.
+        query = tiny_dataset.test[1]
+        fused = ensemble.retrieve(query, m=6).ids
+        member_a = tiny_victim.engine.retrieve(query, m=6).ids
+        member_b = ensemble.engines[1].retrieve(query, m=6).ids
+        if member_a != member_b:
+            assert fused != member_a or fused != member_b
+
+
+class TestQueryFingerprint:
+    def test_near_duplicates_are_close(self, rng):
+        base = Video(rng.random((4, 16, 16, 3)))
+        tweaked = Video(np.clip(base.pixels + 0.002, 0, 1))
+        distance = np.abs(query_fingerprint(base) -
+                          query_fingerprint(tweaked)).mean()
+        assert distance < 0.01
+
+    def test_distinct_videos_are_far(self, rng):
+        a = Video(rng.random((4, 16, 16, 3)))
+        b = Video(rng.random((4, 16, 16, 3)))
+        distance = np.abs(query_fingerprint(a) - query_fingerprint(b)).mean()
+        assert distance > 0.05
+
+    def test_fingerprint_size(self, rng):
+        video = Video(rng.random((4, 16, 16, 3)))
+        assert query_fingerprint(video, grid=4).shape == (4 * 4 * 4 * 3,)
+
+
+class TestStatefulQueryDetector:
+    def test_attack_stream_gets_flagged(self, rng):
+        detector = StatefulQueryDetector(window=20, flag_after=5)
+        base = Video(rng.random((4, 16, 16, 3)))
+        for step in range(10):
+            probe = Video(np.clip(
+                base.pixels + rng.normal(scale=0.01, size=base.pixels.shape),
+                0, 1))
+            detector.observe("attacker", probe)
+        assert detector.is_flagged("attacker")
+        assert detector.hit_count("attacker") >= 5
+
+    def test_benign_stream_not_flagged(self, rng):
+        detector = StatefulQueryDetector(window=20, flag_after=5)
+        for step in range(15):
+            detector.observe("user", Video(rng.random((4, 16, 16, 3))))
+        assert not detector.is_flagged("user")
+
+    def test_accounts_isolated(self, rng):
+        detector = StatefulQueryDetector(window=10, flag_after=2)
+        base = Video(rng.random((4, 16, 16, 3)))
+        for _ in range(4):
+            detector.observe("bad", base)
+        detector.observe("good", Video(rng.random((4, 16, 16, 3))))
+        assert detector.is_flagged("bad")
+        assert not detector.is_flagged("good")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            StatefulQueryDetector(window=0)
+        with pytest.raises(ValueError):
+            StatefulQueryDetector(flag_after=0)
+
+    def test_wrap_service(self, tiny_victim, tiny_dataset):
+        detector = StatefulQueryDetector(window=10, flag_after=2)
+        query = detector.wrap_service(tiny_victim.service, "acct")
+        video = tiny_dataset.test[0]
+        query(video)
+        query(video)
+        query(video)
+        assert detector.is_flagged("acct")
+
+    def test_simba_attack_trips_the_detector(self, tiny_victim, tiny_dataset,
+                                             rng):
+        """A real SimBA-style query stream is exactly what gets caught."""
+        from repro.attacks import VanillaAttack
+
+        detector = StatefulQueryDetector(window=30, flag_after=8,
+                                         distance_threshold=0.05)
+        original_query = tiny_victim.service.query
+
+        def counted_query(video, m=None):
+            detector.observe("attacker", video)
+            return original_query(video, m)
+
+        tiny_victim.service.query = counted_query
+        try:
+            pair = tiny_dataset.sample_attack_pairs(1, rng_or_seed=5)[0]
+            attack = VanillaAttack(tiny_victim.service, k=60, n=3, tau=30,
+                                   iterations=20, rng=6)
+            attack.run(*pair)
+        finally:
+            tiny_victim.service.query = original_query
+        assert detector.is_flagged("attacker")

@@ -1,0 +1,69 @@
+"""Tests for the experiment configuration and table formatting."""
+
+import pytest
+
+from repro.experiments import DEFAULT_SCALE, QUICK_SCALE, ExperimentScale, TableResult
+
+
+class TestExperimentScale:
+    def test_dataset_size_lookup(self):
+        classes, train, test = DEFAULT_SCALE.dataset_size("ucf101")
+        assert classes > 0 and train > test
+
+    def test_ucf_larger_than_hmdb(self):
+        # Preserves the paper's dataset-size ordering.
+        _, ucf_train, _ = DEFAULT_SCALE.dataset_size("ucf101")
+        _, hmdb_train, _ = DEFAULT_SCALE.dataset_size("hmdb51")
+        assert ucf_train > hmdb_train
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            DEFAULT_SCALE.dataset_size("kinetics")
+
+    def test_k_for(self):
+        scale = DEFAULT_SCALE.replace(k_fraction=0.5)
+        assert scale.k_for(1000) == 500
+        assert scale.k_for(1) == 1
+
+    def test_replace_returns_copy(self):
+        other = DEFAULT_SCALE.replace(tau=50.0)
+        assert other.tau == 50.0
+        assert DEFAULT_SCALE.tau == 30.0
+
+    def test_cache_key_stable_and_sensitive(self):
+        assert DEFAULT_SCALE.cache_key("x") == DEFAULT_SCALE.cache_key("x")
+        assert DEFAULT_SCALE.cache_key("x") != DEFAULT_SCALE.cache_key("y")
+        assert DEFAULT_SCALE.cache_key("x") != \
+            DEFAULT_SCALE.replace(tau=31.0).cache_key("x")
+
+    def test_quick_scale_is_smaller(self):
+        assert QUICK_SCALE.iter_num_q < DEFAULT_SCALE.iter_num_q
+        assert QUICK_SCALE.dataset_size("ucf101")[1] < \
+            DEFAULT_SCALE.dataset_size("ucf101")[1]
+
+
+class TestTableResult:
+    def test_add_row_validates_width(self):
+        table = TableResult("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = TableResult("t", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+
+    def test_format_contains_everything(self):
+        table = TableResult("My Table", ["name", "value"])
+        table.add_row("x", 0.12345)
+        table.notes.append("a note")
+        text = table.format()
+        assert "My Table" in text
+        assert "0.123" in text
+        assert "note: a note" in text
+
+    def test_str_matches_format(self):
+        table = TableResult("t", ["a"])
+        table.add_row(1)
+        assert str(table) == table.format()

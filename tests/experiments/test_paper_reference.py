@@ -1,0 +1,67 @@
+"""Sanity tests over the transcribed paper numbers and their shape claims."""
+
+import pytest
+
+from repro.experiments import paper_reference as ref
+
+
+class TestTranscription:
+    def test_table2_complete_grid(self):
+        victims = {"tpn", "slowfast", "i3d", "resnet34"}
+        for attack, cells in ref.PAPER_TABLE2_UCF101.items():
+            assert set(cells) == victims, attack
+
+    def test_dense_timi_spa_matches_video_volume(self):
+        # 16 × 112 × 112 × 3 = 602,112 values; TPN cell reports 602,100.
+        spa = ref.PAPER_TABLE2_UCF101["timi-c3d"]["tpn"][1]
+        assert abs(spa - 16 * 112 * 112 * 3) < 100
+
+    def test_ap_values_are_percentages(self):
+        for cells in ref.PAPER_TABLE2_UCF101.values():
+            for ap, _, _ in cells.values():
+                assert 0.0 <= ap <= 100.0
+
+
+class TestPaperShapeClaims:
+    def test_duo_wins_table2(self):
+        assert ref.duo_beats_every_baseline_in_paper()
+
+    def test_sparsity_factor_exceeds_100x(self):
+        # The abstract's "reducing adversarial perturbations by more
+        # than ×100 than the state-of-the-art" claim, from the data.
+        assert ref.paper_sparsity_factor("i3d") > 100.0
+
+    def test_k_curve_saturates(self):
+        assert ref.paper_k_curve_saturates()
+
+    def test_n_curve_rises_then_flattens(self):
+        values = [ref.PAPER_TABLE6_DUO_C3D[n]
+                  for n in sorted(ref.PAPER_TABLE6_DUO_C3D)]
+        assert values[2] > values[0]            # rises
+        assert abs(values[3] - values[2]) < 1.0  # flattens
+
+    def test_tau_raises_ap_and_pscore(self):
+        taus = sorted(ref.PAPER_TABLE7_DUO_C3D)
+        aps = [ref.PAPER_TABLE7_DUO_C3D[t][0] for t in taus]
+        pscores = [ref.PAPER_TABLE7_DUO_C3D[t][1] for t in taus]
+        assert aps == sorted(aps)
+        assert pscores == sorted(pscores)
+
+    def test_iternumh_grows_spa(self):
+        loops = sorted(ref.PAPER_TABLE8_DUO_C3D)
+        spas = [ref.PAPER_TABLE8_DUO_C3D[h][1] for h in loops]
+        assert spas == sorted(spas)
+
+    def test_surrogate_size_flat(self):
+        aps = [ap for ap, _ in ref.PAPER_TABLE3_DUO_C3D.values()]
+        assert max(aps) - min(aps) < 5.0
+
+    def test_duo_evades_squeezing_better_than_vanilla(self):
+        assert ref.PAPER_TABLE10_UCF101["duo-c3d"][0] < \
+            ref.PAPER_TABLE10_UCF101["vanilla"][0]
+
+    def test_timi_evades_noise2self_best(self):
+        timi = ref.PAPER_TABLE10_UCF101["timi-c3d"][1]
+        assert all(timi <= other[1]
+                   for name, other in ref.PAPER_TABLE10_UCF101.items()
+                   if not name.startswith("timi"))

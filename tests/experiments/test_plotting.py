@@ -1,0 +1,49 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.experiments.plotting import ascii_bar_chart, ascii_line_chart
+
+
+class TestBarChart:
+    def test_renders_all_rows(self):
+        text = ascii_bar_chart(["a", "bb"], [1.0, 0.5], title="demo")
+        assert "demo" in text
+        assert "a " in text and "bb" in text
+        assert "1.000" in text and "0.500" in text
+
+    def test_bar_lengths_proportional(self):
+        text = ascii_bar_chart(["x", "y"], [1.0, 0.5], width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 2 * lines[1].count("#")
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert ascii_bar_chart([], [], title="t") == "t"
+
+
+class TestLineChart:
+    def test_contains_legend_and_axis(self):
+        text = ascii_line_chart({"duo": [2.0, 1.5, 1.0]}, title="T")
+        assert "o=duo" in text
+        assert "2.000" in text and "1.000" in text
+
+    def test_multiple_series_distinct_glyphs(self):
+        text = ascii_line_chart({"a": [1.0, 0.0], "b": [0.0, 1.0]})
+        assert "o=a" in text and "x=b" in text
+        assert "o" in text and "x" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_line_chart({"flat": [1.0, 1.0, 1.0]})
+        assert "flat" in text
+
+    def test_empty_series(self):
+        assert ascii_line_chart({}, title="t") == "t"
+
+    def test_width_respected(self):
+        text = ascii_line_chart({"s": list(range(100))}, width=30, height=5)
+        grid_lines = [line for line in text.splitlines() if "│" in line or "┤" in line]
+        assert all(len(line) <= 10 + 1 + 30 for line in grid_lines)

@@ -1,0 +1,26 @@
+"""Tests for the run_all CLI."""
+
+import pytest
+
+from repro.experiments import run_all
+
+
+def test_unknown_experiment_rejected(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        run_all.main(["definitely-not-a-table", "--out", str(tmp_path)])
+
+
+def test_runner_registry_complete():
+    expected = {"fig3", "fig4", "fig5", "table2", "table3", "table4",
+                "table5", "table6", "table7", "table8", "table9", "table10"}
+    assert set(run_all.RUNNERS) == expected
+
+
+def test_cli_runs_subset_quick(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+    exit_code = run_all.main(["fig3", "--quick", "--out",
+                              str(tmp_path / "out")])
+    assert exit_code == 0
+    assert (tmp_path / "out" / "fig3.txt").exists()
+    output = capsys.readouterr().out
+    assert "Figure 3" in output

@@ -1,0 +1,167 @@
+"""Tests for the metric-learning losses."""
+
+import numpy as np
+import pytest
+
+from repro.losses import (
+    AngularLoss,
+    ArcFaceLoss,
+    LiftedLoss,
+    RankedListTripletLoss,
+    create_loss,
+    triplet_margin_loss,
+)
+from repro.nn import Adam, Tensor
+
+
+def clustered_embeddings(rng, classes=3, per_class=4, dim=8, spread=0.05):
+    """Well-separated class clusters plus labels."""
+    centers = rng.normal(size=(classes, dim)) * 3.0
+    points, labels = [], []
+    for c in range(classes):
+        points.append(centers[c] + rng.normal(scale=spread, size=(per_class, dim)))
+        labels.extend([c] * per_class)
+    return np.concatenate(points), np.asarray(labels)
+
+
+class TestTripletMargin:
+    def test_zero_when_separated(self, rng):
+        anchor = Tensor(np.zeros((2, 4)))
+        positive = Tensor(np.zeros((2, 4)))
+        negative = Tensor(np.ones((2, 4)) * 10.0)
+        assert triplet_margin_loss(anchor, positive, negative).item() == 0.0
+
+    def test_positive_when_violated(self, rng):
+        anchor = Tensor(np.zeros((2, 4)))
+        positive = Tensor(np.ones((2, 4)))
+        negative = Tensor(np.zeros((2, 4)))
+        assert triplet_margin_loss(anchor, positive, negative).item() > 0.0
+
+
+class TestRankedListTriplet:
+    def test_zero_on_perfect_order(self):
+        query = Tensor(np.zeros(4))
+        returned = Tensor(np.stack([np.full(4, d) for d in (1.0, 2.0, 3.0)]))
+        loss = RankedListTripletLoss(margin=0.0)(query, returned)
+        assert loss.item() == pytest.approx(0.0)
+
+    def test_positive_on_inverted_order(self):
+        query = Tensor(np.zeros(4))
+        returned = Tensor(np.stack([np.full(4, d) for d in (3.0, 2.0, 1.0)]))
+        loss = RankedListTripletLoss(margin=0.0)(query, returned)
+        assert loss.item() > 0.0
+
+    def test_short_list_returns_zero(self):
+        loss = RankedListTripletLoss()(Tensor(np.zeros(4)),
+                                       Tensor(np.zeros((1, 4))))
+        assert loss.item() == 0.0
+
+    def test_trains_an_embedding_into_order(self, rng):
+        # A learnable projection should learn to rank a fixed list.
+        from repro.nn import Linear
+
+        projector = Linear(6, 4, rng=0)
+        optimizer = Adam(projector.parameters(), lr=0.05)
+        loss_fn = RankedListTripletLoss(margin=0.2)
+        query = rng.normal(size=(1, 6))
+        returned = rng.normal(size=(5, 6))
+        first = None
+        for _ in range(40):
+            optimizer.zero_grad()
+            q = projector(Tensor(query))[0]
+            r = projector(Tensor(returned))
+            loss = loss_fn(q, r)
+            if first is None:
+                first = loss.item()
+            if not loss.requires_grad:
+                break
+            loss.backward()
+            optimizer.step()
+        assert loss.item() <= first
+
+
+class TestArcFace:
+    def test_lower_loss_for_aligned_clusters(self, rng):
+        loss_fn = ArcFaceLoss(3, 8, rng=0)
+        embeddings, labels = clustered_embeddings(rng)
+        # Use prototypes equal to class centers: loss should be small-ish.
+        aligned = loss_fn(Tensor(embeddings), labels).item()
+        shuffled = loss_fn(Tensor(embeddings), labels[::-1].copy()).item()
+        assert aligned < shuffled
+
+    def test_has_learnable_prototypes(self):
+        loss_fn = ArcFaceLoss(5, 8, rng=0)
+        assert loss_fn.prototypes.shape == (5, 8)
+        assert loss_fn.prototypes.requires_grad
+
+    def test_margin_increases_loss(self, rng):
+        embeddings, labels = clustered_embeddings(rng)
+        small = ArcFaceLoss(3, 8, margin=0.0, rng=0)
+        large = ArcFaceLoss(3, 8, margin=0.5, rng=0)
+        assert large(Tensor(embeddings), labels).item() >= \
+            small(Tensor(embeddings), labels).item()
+
+    def test_gradient_flows_to_embeddings(self, rng):
+        loss_fn = ArcFaceLoss(3, 8, rng=0)
+        embeddings, labels = clustered_embeddings(rng)
+        x = Tensor(embeddings, requires_grad=True)
+        loss_fn(x, labels).backward()
+        assert x.grad is not None
+
+
+class TestLifted:
+    def test_zero_without_positives(self, rng):
+        loss = LiftedLoss()(Tensor(rng.normal(size=(3, 4))),
+                            np.array([0, 1, 2]))
+        assert loss.item() == 0.0
+
+    def test_separated_clusters_score_lower(self, rng):
+        loss_fn = LiftedLoss(margin=1.0)
+        tight, labels = clustered_embeddings(rng, spread=0.01)
+        loose, _ = clustered_embeddings(rng, spread=2.0)
+        assert loss_fn(Tensor(tight), labels).item() <= \
+            loss_fn(Tensor(loose), labels).item() + 1e-6
+
+    def test_gradient_flows(self, rng):
+        embeddings, labels = clustered_embeddings(rng, spread=1.0)
+        x = Tensor(embeddings, requires_grad=True)
+        loss = LiftedLoss()(x, labels)
+        if loss.requires_grad:
+            loss.backward()
+            assert x.grad is not None
+
+
+class TestAngular:
+    def test_zero_without_positives(self, rng):
+        loss = AngularLoss()(Tensor(rng.normal(size=(3, 4))),
+                             np.array([0, 1, 2]))
+        assert loss.item() == 0.0
+
+    def test_positive_with_mixed_batch(self, rng):
+        embeddings, labels = clustered_embeddings(rng)
+        assert AngularLoss()(Tensor(embeddings), labels).item() > 0.0
+
+    def test_gradient_flows(self, rng):
+        embeddings, labels = clustered_embeddings(rng)
+        x = Tensor(embeddings, requires_grad=True)
+        AngularLoss()(x, labels).backward()
+        assert x.grad is not None
+
+    def test_alpha_changes_loss(self, rng):
+        embeddings, labels = clustered_embeddings(rng)
+        a = AngularLoss(alpha_degrees=30.0)(Tensor(embeddings), labels).item()
+        b = AngularLoss(alpha_degrees=50.0)(Tensor(embeddings), labels).item()
+        assert a != b
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["arcface", "lifted", "angular"])
+    def test_create_by_name(self, name):
+        assert create_loss(name, num_classes=4, feature_dim=8) is not None
+
+    def test_case_and_suffix_insensitive(self):
+        assert isinstance(create_loss("ArcFaceLoss", 4, 8), ArcFaceLoss)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            create_loss("contrastive", 4, 8)

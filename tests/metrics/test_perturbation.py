@@ -1,0 +1,96 @@
+"""Tests for Spa, PScore, frame count, and ℓ∞."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics import (
+    linf_norm,
+    perturbation_summary,
+    perturbed_frames,
+    pscore,
+    sparsity,
+)
+
+
+class TestSparsity:
+    def test_zero_perturbation(self):
+        assert sparsity(np.zeros((4, 3, 3, 3))) == 0
+
+    def test_counts_values_not_pixels(self):
+        phi = np.zeros((2, 2, 2, 3))
+        phi[0, 0, 0, :] = 0.5  # one pixel, three channel values
+        assert sparsity(phi) == 3
+
+    def test_dense_matches_paper_accounting(self):
+        # A dense 16×112×112×3 perturbation reports Spa = 602,112.
+        phi = np.ones((16, 14, 14, 3)) * 0.1  # scaled-down dense
+        assert sparsity(phi) == 16 * 14 * 14 * 3
+
+    def test_tolerance_absorbs_fuzz(self):
+        phi = np.full((1, 2, 2, 3), 1e-15)
+        assert sparsity(phi) == 0
+
+
+class TestPScore:
+    def test_zero(self):
+        assert pscore(np.zeros((2, 2, 2, 3))) == 0.0
+
+    def test_dense_uniform(self):
+        phi = np.full((2, 4, 4, 3), 10.0 / 255.0)
+        assert pscore(phi) == pytest.approx(10.0)
+
+    def test_scale_override(self):
+        phi = np.full((1, 1, 1, 3), 0.5)
+        assert pscore(phi, scale=1.0) == pytest.approx(0.5)
+
+
+class TestPerturbedFrames:
+    def test_counts_frames(self):
+        phi = np.zeros((8, 2, 2, 3))
+        phi[1] = 0.1
+        phi[5, 0, 0, 0] = -0.2
+        assert perturbed_frames(phi) == 2
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            perturbed_frames(np.zeros((2, 2)))
+
+
+class TestLinf:
+    def test_value(self):
+        phi = np.array([[[[0.1, -0.4, 0.2]]]])
+        assert linf_norm(phi) == pytest.approx(0.4)
+
+    def test_empty(self):
+        assert linf_norm(np.zeros((0,))) == 0.0
+
+
+class TestSummary:
+    def test_bundle(self):
+        phi = np.zeros((4, 2, 2, 3))
+        phi[0, 0, 0, 0] = 30.0 / 255.0
+        stats = perturbation_summary(phi)
+        assert stats.spa == 1
+        assert stats.frames == 1
+        assert stats.linf == pytest.approx(30.0 / 255.0)
+        assert stats.pscore == pytest.approx(30.0 / phi.size)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, (3, 2, 2, 3),
+              elements=st.floats(-1.0, 1.0, allow_nan=False)))
+def test_sparsity_upper_bound(phi):
+    assert 0 <= sparsity(phi) <= phi.size
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, (3, 2, 2, 3),
+              elements=st.floats(-1.0, 1.0, allow_nan=False)))
+def test_frames_bounded_by_spa(phi):
+    frames = perturbed_frames(phi)
+    assert frames <= 3
+    if sparsity(phi) == 0:
+        assert frames == 0

@@ -1,0 +1,54 @@
+"""Tests for the NDCG-style list similarity H."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import ndcg_similarity
+
+
+class TestNdcgSimilarity:
+    def test_identical_lists_score_one(self):
+        ids = [f"v{i}" for i in range(5)]
+        assert ndcg_similarity(ids, ids) == pytest.approx(1.0)
+
+    def test_disjoint_lists_score_zero(self):
+        assert ndcg_similarity(["a", "b"], ["c", "d"]) == 0.0
+
+    def test_empty_lists(self):
+        assert ndcg_similarity([], ["a"]) == 0.0
+        assert ndcg_similarity(["a"], []) == 0.0
+
+    def test_rank_sensitivity(self):
+        # Swapping two items reduces similarity below 1 even though
+        # membership is unchanged (the query attack's fine signal).
+        a = ["x", "y", "z"]
+        swapped = ["y", "x", "z"]
+        assert ndcg_similarity(a, swapped) < 1.0
+
+    def test_early_overlap_beats_late_overlap(self):
+        reference = ["a", "b", "c", "d"]
+        early = ["a", "q", "r", "s"]
+        late = ["q", "r", "s", "a"]
+        assert ndcg_similarity(early, reference) > \
+            ndcg_similarity(late, reference)
+
+    def test_symmetric_for_identical_membership(self):
+        a = ["a", "b", "c"]
+        b = ["c", "a", "b"]
+        assert ndcg_similarity(a, b) == pytest.approx(ndcg_similarity(b, a))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.sampled_from("abcdefgh"), min_size=1, max_size=8,
+                    unique=True),
+           st.lists(st.sampled_from("abcdefgh"), min_size=1, max_size=8,
+                    unique=True))
+    def test_bounds(self, list_a, list_b):
+        value = ndcg_similarity(list_a, list_b)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.sampled_from("abcdefgh"), min_size=1, max_size=8,
+                    unique=True))
+    def test_self_similarity_is_one(self, ids):
+        assert ndcg_similarity(ids, ids) == pytest.approx(1.0)

@@ -1,0 +1,102 @@
+"""Tests for every video backbone and the feature-extractor head."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BACKBONES,
+    FeatureExtractor,
+    create_backbone,
+    create_feature_extractor,
+)
+from repro.nn import Tensor
+from repro.video import Video
+
+
+@pytest.fixture(scope="module")
+def batch(rng=np.random.default_rng(0)):
+    return Tensor(rng.random((2, 3, 8, 16, 16)))
+
+
+class TestBackbones:
+    @pytest.mark.parametrize("name", sorted(BACKBONES))
+    def test_forward_shape(self, name, batch):
+        model = create_backbone(name, width=2, rng=0)
+        model.eval()
+        out = model(batch)
+        assert out.shape == (2, model.out_features)
+        assert np.isfinite(out.data).all()
+
+    @pytest.mark.parametrize("name", sorted(BACKBONES))
+    def test_gradient_reaches_input(self, name, batch):
+        model = create_backbone(name, width=2, rng=0)
+        model.eval()
+        model.requires_grad_(False)
+        x = Tensor(batch.data.copy(), requires_grad=True)
+        (model(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).max() > 0.0
+
+    @pytest.mark.parametrize("name", sorted(BACKBONES))
+    def test_rejects_4d_input(self, name):
+        model = create_backbone(name, width=2, rng=0)
+        with pytest.raises(ValueError):
+            model(Tensor(np.zeros((3, 8, 16, 16))))
+
+    def test_unknown_backbone(self):
+        with pytest.raises(KeyError):
+            create_backbone("vit")
+
+    def test_resnet34_deeper_than_resnet18(self):
+        r18 = create_backbone("resnet18", width=2, rng=0)
+        r34 = create_backbone("resnet34", width=2, rng=0)
+        assert len(r34.parameters()) > len(r18.parameters())
+
+    def test_slowfast_alpha_validation(self):
+        with pytest.raises(ValueError):
+            create_backbone("slowfast", width=2, alpha=0)
+
+    def test_deterministic_construction(self, batch):
+        a = create_backbone("c3d", width=2, rng=5)
+        b = create_backbone("c3d", width=2, rng=5)
+        a.eval(), b.eval()
+        np.testing.assert_allclose(a(batch).data, b(batch).data)
+
+
+class TestFeatureExtractor:
+    @pytest.fixture(scope="class")
+    def extractor(self):
+        return create_feature_extractor("c3d", feature_dim=12, width=2, rng=0)
+
+    def test_output_dim(self, extractor, batch):
+        extractor.eval()
+        assert extractor(batch).shape == (2, 12)
+
+    def test_normalized_rows(self, extractor, batch):
+        extractor.eval()
+        norms = np.linalg.norm(extractor(batch).data, axis=1)
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-9)
+
+    def test_unnormalized_option(self, batch):
+        extractor = create_feature_extractor("c3d", feature_dim=12, width=2,
+                                             normalize=False, rng=0)
+        extractor.eval()
+        norms = np.linalg.norm(extractor(batch).data, axis=1)
+        assert not np.allclose(norms, 1.0)
+
+    def test_embed_videos_matches_forward(self, extractor, rng):
+        videos = [Video(rng.random((8, 16, 16, 3))) for _ in range(3)]
+        features = extractor.embed_videos(videos, batch_size=2)
+        assert features.shape == (3, 12)
+        single = extractor.embed_videos(videos[0])
+        np.testing.assert_allclose(single[0], features[0], rtol=1e-10)
+
+    def test_embed_videos_restores_training_mode(self, extractor, rng):
+        extractor.train()
+        extractor.embed_videos(Video(rng.random((8, 16, 16, 3))))
+        assert extractor.training
+        extractor.eval()
+
+    def test_embed_videos_builds_no_graph(self, extractor, rng):
+        features = extractor.embed_videos(Video(rng.random((8, 16, 16, 3))))
+        assert isinstance(features, np.ndarray)

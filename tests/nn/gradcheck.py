@@ -1,0 +1,51 @@
+"""Numeric gradient checking helper shared by the nn tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numeric_gradient(fn, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of ``fn()`` w.r.t. ``array`` (in place)."""
+    grad = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        upper = fn()
+        array[index] = original - eps
+        lower = fn()
+        array[index] = original
+        grad[index] = (upper - lower) / (2.0 * eps)
+        iterator.iternext()
+    return grad
+
+
+def assert_gradients_close(build_loss, arrays: dict[str, np.ndarray],
+                           rtol: float = 1e-5, atol: float = 1e-7) -> None:
+    """Check autograd gradients of a scalar loss against numeric ones.
+
+    ``build_loss`` receives ``{name: Tensor}`` (requires_grad=True) and
+    returns a scalar Tensor; ``arrays`` holds the leaf values.
+    """
+    tensors = {name: Tensor(value, requires_grad=True)
+               for name, value in arrays.items()}
+    loss = build_loss(tensors)
+    loss.backward()
+
+    for name, array in arrays.items():
+        def evaluate() -> float:
+            detached = {n: Tensor(a) for n, a in arrays.items()}
+            return build_loss(detached).item()
+
+        numeric = numeric_gradient(evaluate, array)
+        analytic = tensors[name].grad
+        assert analytic is not None, f"no gradient for {name!r}"
+        scale = max(np.abs(numeric).max(), 1.0)
+        np.testing.assert_allclose(
+            analytic, numeric, rtol=rtol, atol=atol * scale,
+            err_msg=f"gradient mismatch for {name!r}",
+        )

@@ -1,0 +1,170 @@
+"""Tests for differentiable convolutions, pooling, and loss helpers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from tests.nn.gradcheck import assert_gradients_close
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        w = Tensor(rng.normal(size=(5, 3, 3, 3)))
+        out = F.conv2d(x, w, stride=2, padding=1)
+        assert out.shape == (2, 5, 4, 4)
+
+    def test_identity_kernel(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        w = Tensor(np.ones((1, 1, 1, 1)))
+        np.testing.assert_allclose(F.conv2d(x, w).data, x.data)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 2, 4, 4))),
+                     Tensor(np.zeros((1, 3, 3, 3))))
+
+    def test_bias_added(self, rng):
+        x = Tensor(np.zeros((1, 1, 2, 2)))
+        w = Tensor(np.zeros((2, 1, 1, 1)))
+        b = Tensor(np.array([1.5, -2.0]))
+        out = F.conv2d(x, w, b)
+        np.testing.assert_allclose(out.data[0, 0], 1.5)
+        np.testing.assert_allclose(out.data[0, 1], -2.0)
+
+    def test_gradients(self, rng):
+        arrays = {
+            "x": rng.normal(size=(2, 2, 5, 5)),
+            "w": rng.normal(size=(3, 2, 3, 3)) * 0.3,
+            "b": rng.normal(size=(3,)),
+        }
+
+        def loss(t):
+            out = F.conv2d(t["x"], t["w"], t["b"], stride=2, padding=1)
+            return (out**2).sum()
+
+        assert_gradients_close(loss, arrays)
+
+
+class TestConv3d:
+    def test_output_shape(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 6, 8, 8)))
+        w = Tensor(rng.normal(size=(4, 3, 3, 3, 3)))
+        out = F.conv3d(x, w, stride=(1, 2, 2), padding=1)
+        assert out.shape == (1, 4, 6, 4, 4)
+
+    def test_matches_manual_correlation(self, rng):
+        x = rng.normal(size=(1, 1, 2, 3, 3))
+        w = rng.normal(size=(1, 1, 2, 2, 2))
+        out = F.conv3d(Tensor(x), Tensor(w)).data
+        manual = 0.0
+        for dt in range(2):
+            for dh in range(2):
+                for dw in range(2):
+                    manual += x[0, 0, dt, dh, dw] * w[0, 0, dt, dh, dw]
+        np.testing.assert_allclose(out[0, 0, 0, 0, 0], manual)
+
+    def test_gradients(self, rng):
+        arrays = {
+            "x": rng.normal(size=(1, 2, 4, 4, 4)),
+            "w": rng.normal(size=(2, 2, 2, 3, 3)) * 0.3,
+            "b": rng.normal(size=(2,)),
+        }
+
+        def loss(t):
+            out = F.conv3d(t["x"], t["w"], t["b"], stride=(1, 2, 2),
+                           padding=(0, 1, 1))
+            return (out**2).sum()
+
+        assert_gradients_close(loss, arrays)
+
+    def test_frozen_weight_grad_skipped(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 2, 4, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(1, 1, 1, 3, 3)))
+        out = F.conv3d(x, w, padding=(0, 1, 1))
+        (out**2).sum().backward()
+        assert x.grad is not None
+        assert w.grad is None
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.zeros((1, 1, 2, 2, 2))
+        x[0, 0, 1, 1, 1] = 5.0
+        out = F.max_pool3d(Tensor(x), (2, 2, 2))
+        assert out.data[0, 0, 0, 0, 0] == 5.0
+
+    def test_max_pool_shape_with_stride(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 8, 8)))
+        out = F.max_pool3d(x, (2, 2, 2))
+        assert out.shape == (1, 2, 2, 4, 4)
+
+    def test_avg_pool_values(self):
+        x = np.ones((1, 1, 2, 2, 2)) * 3.0
+        out = F.avg_pool3d(Tensor(x), (2, 2, 2))
+        np.testing.assert_allclose(out.data, 3.0)
+
+    def test_max_pool_gradients(self, rng):
+        values = rng.permutation(64).astype(float).reshape(1, 1, 4, 4, 4)
+
+        def loss(t):
+            return (F.max_pool3d(t["x"], (2, 2, 2)) ** 2).sum()
+
+        assert_gradients_close(loss, {"x": values})
+
+    def test_avg_pool_gradients(self, rng):
+        def loss(t):
+            return (F.avg_pool3d(t["x"], (2, 2, 2)) ** 2).sum()
+
+        assert_gradients_close(loss, {"x": rng.normal(size=(1, 1, 4, 4, 4))})
+
+    def test_global_avg_pool(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4, 5, 5)))
+        out = F.global_avg_pool3d(x)
+        assert out.shape == (2, 3, 1, 1, 1)
+        np.testing.assert_allclose(out.data[0, 0, 0, 0, 0],
+                                   x.data[0, 0].mean())
+
+
+class TestLossesAndHelpers:
+    def test_mse_loss(self):
+        loss = F.mse_loss(Tensor([1.0, 2.0]), Tensor([1.0, 4.0]))
+        assert loss.item() == pytest.approx(2.0)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_gradient(self, rng):
+        labels = np.array([0, 2, 1])
+
+        def loss(t):
+            return F.cross_entropy(t["x"], labels)
+
+        assert_gradients_close(loss, {"x": rng.normal(size=(3, 4))})
+
+    def test_l2_normalize_unit_rows(self, rng):
+        out = F.l2_normalize(Tensor(rng.normal(size=(4, 8))), axis=1)
+        np.testing.assert_allclose(
+            np.linalg.norm(out.data, axis=1), np.ones(4), rtol=1e-9
+        )
+
+    def test_pairwise_squared_distances(self, rng):
+        a = rng.normal(size=(3, 5))
+        b = rng.normal(size=(4, 5))
+        out = F.pairwise_squared_distances(Tensor(a), Tensor(b)).data
+        expected = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(out, expected, rtol=1e-8, atol=1e-9)
+
+    def test_pairwise_distances_nonnegative(self, rng):
+        a = rng.normal(size=(6, 3))
+        out = F.pairwise_squared_distances(Tensor(a), Tensor(a)).data
+        assert np.all(out >= 0.0)
+
+    def test_pair_triple_validation(self):
+        with pytest.raises(ValueError):
+            F._pair((1, 2, 3))
+        with pytest.raises(ValueError):
+            F._triple((1, 2))

@@ -1,0 +1,232 @@
+"""Tests for the Module system and the layer zoo."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    AdaptiveAvgPool3d,
+    AvgPool3d,
+    BatchNorm,
+    Conv2d,
+    Conv3d,
+    Dropout,
+    Flatten,
+    Identity,
+    LayerNorm,
+    Linear,
+    LSTM,
+    LSTMCell,
+    MaxPool3d,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+)
+
+
+class TestModuleSystem:
+    def test_parameter_discovery(self):
+        layer = Linear(3, 4, rng=0)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_parameter_names(self):
+        net = Sequential(Linear(2, 3, rng=0), ReLU(), Linear(3, 1, rng=1))
+        names = {name for name, _ in net.named_parameters()}
+        assert "layer0.weight" in names
+        assert "layer2.bias" in names
+
+    def test_parameters_count(self):
+        net = Sequential(Linear(2, 3, rng=0), Linear(3, 1, rng=1))
+        assert len(net.parameters()) == 4
+
+    def test_train_eval_recursive(self):
+        net = Sequential(Dropout(0.5), Sequential(Dropout(0.5)))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2, rng=0)
+        out = layer(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_requires_grad_freeze(self):
+        layer = Linear(2, 2, rng=0)
+        layer.requires_grad_(False)
+        out = layer(Tensor(np.ones((1, 2)), requires_grad=True))
+        assert not any(p.requires_grad for p in layer.parameters())
+        assert out.requires_grad  # input still flows
+
+    def test_state_dict_roundtrip(self):
+        a = Linear(3, 2, rng=0)
+        b = Linear(3, 2, rng=99)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_shape_mismatch(self):
+        a = Linear(3, 2, rng=0)
+        b = Linear(4, 2, rng=0)
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+    def test_state_dict_unknown_key(self):
+        a = Linear(3, 2, rng=0)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"nonexistent": np.zeros(2)})
+
+    def test_buffers_serialized(self):
+        bn = BatchNorm(3)
+        bn(Tensor(np.random.default_rng(0).normal(size=(4, 3))))
+        fresh = BatchNorm(3)
+        fresh.load_state_dict(bn.state_dict())
+        np.testing.assert_allclose(fresh.running_mean, bn.running_mean)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        out = Linear(4, 7, rng=0)(Tensor(np.zeros((3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_linear_no_bias(self):
+        layer = Linear(4, 2, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_conv2d_module(self, rng):
+        out = Conv2d(3, 5, 3, padding=1, rng=0)(Tensor(rng.normal(size=(1, 3, 6, 6))))
+        assert out.shape == (1, 5, 6, 6)
+
+    def test_conv3d_module(self, rng):
+        out = Conv3d(2, 4, 3, padding=1, rng=0)(
+            Tensor(rng.normal(size=(1, 2, 4, 6, 6))))
+        assert out.shape == (1, 4, 4, 6, 6)
+
+    def test_batchnorm_normalizes_in_train(self, rng):
+        bn = BatchNorm(3)
+        x = Tensor(rng.normal(loc=5.0, scale=2.0, size=(64, 3)))
+        out = bn(x).data
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_batchnorm_running_stats_update(self, rng):
+        bn = BatchNorm(2)
+        bn(Tensor(rng.normal(loc=3.0, size=(32, 2))))
+        assert np.all(bn.running_mean != 0.0)
+
+    def test_batchnorm_eval_uses_running_stats(self, rng):
+        bn = BatchNorm(2)
+        for _ in range(20):
+            bn(Tensor(rng.normal(loc=3.0, size=(32, 2))))
+        bn.eval()
+        single = Tensor(np.full((1, 2), 3.0))
+        out = bn(single).data
+        assert np.all(np.abs(out) < 1.0)  # near the running mean
+
+    def test_batchnorm_5d_input(self, rng):
+        bn = BatchNorm(4)
+        out = bn(Tensor(rng.normal(size=(2, 4, 3, 5, 5))))
+        assert out.shape == (2, 4, 3, 5, 5)
+
+    def test_layernorm(self, rng):
+        ln = LayerNorm(8)
+        out = ln(Tensor(rng.normal(size=(4, 8)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-7)
+
+    def test_activations(self):
+        x = Tensor(np.array([-1.0, 0.0, 1.0]))
+        assert np.all(ReLU()(x).data >= 0.0)
+        assert np.all((Sigmoid()(x).data > 0) & (Sigmoid()(x).data < 1))
+        np.testing.assert_allclose(Tanh()(x).data, np.tanh(x.data))
+
+    def test_dropout_eval_identity(self, rng):
+        drop = Dropout(0.5, rng=0)
+        drop.eval()
+        x = Tensor(rng.normal(size=(10, 10)))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_dropout_train_scales(self):
+        drop = Dropout(0.5, rng=0)
+        x = Tensor(np.ones((100, 100)))
+        out = drop(x).data
+        # surviving units are scaled by 1/keep
+        assert set(np.unique(out)).issubset({0.0, 2.0})
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_flatten(self):
+        out = Flatten()(Tensor(np.zeros((2, 3, 4))))
+        assert out.shape == (2, 12)
+
+    def test_identity(self):
+        x = Tensor(np.ones(3))
+        assert Identity()(x) is x
+
+    def test_pool_modules(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4, 4)))
+        assert MaxPool3d((2, 2, 2))(x).shape == (1, 2, 2, 2, 2)
+        assert AvgPool3d((2, 2, 2))(x).shape == (1, 2, 2, 2, 2)
+        assert AdaptiveAvgPool3d()(x).shape == (1, 2, 1, 1, 1)
+
+    def test_sequential_iter_len(self):
+        net = Sequential(ReLU(), ReLU())
+        assert len(net) == 2
+        assert len(list(net)) == 2
+
+
+class TestRecurrent:
+    def test_lstm_cell_shapes(self, rng):
+        cell = LSTMCell(4, 6, rng=0)
+        h = Tensor(np.zeros((2, 6)))
+        c = Tensor(np.zeros((2, 6)))
+        h2, c2 = cell(Tensor(rng.normal(size=(2, 4))), (h, c))
+        assert h2.shape == (2, 6)
+        assert c2.shape == (2, 6)
+
+    def test_lstm_outputs(self, rng):
+        lstm = LSTM(4, 6, rng=0)
+        outputs, (h, c) = lstm(Tensor(rng.normal(size=(3, 5, 4))))
+        assert outputs.shape == (3, 5, 6)
+        assert h.shape == (3, 6)
+        np.testing.assert_allclose(outputs.data[:, -1], h.data)
+
+    def test_lstm_gradient_flow(self, rng):
+        lstm = LSTM(3, 4, rng=0)
+        x = Tensor(rng.normal(size=(2, 4, 3)), requires_grad=True)
+        _, (h, _) = lstm(x)
+        (h**2).sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in lstm.parameters())
+
+    def test_lstm_trainable(self, rng):
+        # An LSTM should fit "output last input element" quickly.
+        lstm = LSTM(1, 8, rng=0)
+        head = Linear(8, 1, rng=1)
+        params = lstm.parameters() + head.parameters()
+        optimizer = Adam(params, lr=0.02)
+        x = rng.normal(size=(16, 5, 1))
+        y = x[:, -1, :]
+        first_loss = None
+        for _ in range(60):
+            optimizer.zero_grad()
+            _, (h, _) = lstm(Tensor(x))
+            loss = ((head(h) - Tensor(y)) ** 2).mean()
+            if first_loss is None:
+                first_loss = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first_loss * 0.5

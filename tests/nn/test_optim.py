@@ -1,0 +1,89 @@
+"""Tests for SGD, Adam, and StepLR."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, SGD, StepLR, Tensor
+from repro.nn.modules import Parameter
+
+
+def quadratic_step(optimizer_cls, steps=50, **kwargs):
+    """Minimize ||x - 3||^2 from x=0 and return the final parameter."""
+    param = Parameter(np.zeros(4))
+    optimizer = optimizer_cls([param], **kwargs)
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = ((param - 3.0) ** 2).sum()
+        loss.backward()
+        optimizer.step()
+    return param.data
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        final = quadratic_step(SGD, lr=0.1)
+        np.testing.assert_allclose(final, 3.0, atol=1e-2)
+
+    def test_momentum_accelerates(self):
+        plain = quadratic_step(SGD, steps=10, lr=0.01)
+        momentum = quadratic_step(SGD, steps=10, lr=0.01, momentum=0.9)
+        assert abs(momentum.mean() - 3.0) < abs(plain.mean() - 3.0)
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.ones(3) * 10.0)
+        optimizer = SGD([param], lr=0.1, weight_decay=1.0)
+        # zero gradient: only decay acts
+        param.grad = np.zeros(3)
+        optimizer.step()
+        assert np.all(param.data < 10.0)
+
+    def test_skips_parameters_without_grad(self):
+        param = Parameter(np.ones(2))
+        optimizer = SGD([param], lr=0.1)
+        optimizer.step()  # no gradient: no movement, no crash
+        np.testing.assert_allclose(param.data, 1.0)
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        final = quadratic_step(Adam, steps=200, lr=0.05)
+        np.testing.assert_allclose(final, 3.0, atol=1e-2)
+
+    def test_bias_correction_first_step(self):
+        param = Parameter(np.zeros(1))
+        optimizer = Adam([param], lr=0.1)
+        param.grad = np.array([1.0])
+        optimizer.step()
+        # First Adam step magnitude ≈ lr regardless of gradient scale.
+        np.testing.assert_allclose(param.data, -0.1, atol=1e-6)
+
+    def test_weight_decay(self):
+        param = Parameter(np.ones(1) * 5.0)
+        optimizer = Adam([param], lr=0.1, weight_decay=1.0)
+        param.grad = np.zeros(1)
+        optimizer.step()
+        assert param.data[0] < 5.0
+
+
+class TestStepLR:
+    def test_decays_on_schedule(self):
+        param = Parameter(np.zeros(1))
+        optimizer = SGD([param], lr=1.0)
+        scheduler = StepLR(optimizer, step_size=50, gamma=0.9)
+        for _ in range(49):
+            scheduler.step()
+        assert scheduler.lr == pytest.approx(1.0)
+        scheduler.step()
+        assert scheduler.lr == pytest.approx(0.9)
+        for _ in range(50):
+            scheduler.step()
+        assert scheduler.lr == pytest.approx(0.81)
+
+    def test_invalid_step_size(self):
+        param = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            StepLR(SGD([param], lr=1.0), step_size=0, gamma=0.5)

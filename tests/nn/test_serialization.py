@@ -1,0 +1,38 @@
+"""Tests for npz-based weight serialization."""
+
+import numpy as np
+
+from repro.nn import Linear, Sequential, ReLU, load_state_dict, save_state_dict
+from repro.nn import BatchNorm, Tensor
+
+
+def test_save_load_roundtrip(tmp_path):
+    net = Sequential(Linear(3, 4, rng=0), ReLU(), Linear(4, 2, rng=1))
+    path = tmp_path / "weights.npz"
+    save_state_dict(net, path)
+
+    other = Sequential(Linear(3, 4, rng=7), ReLU(), Linear(4, 2, rng=8))
+    load_state_dict(other, path)
+    for (_, a), (_, b) in zip(net.named_parameters(), other.named_parameters()):
+        np.testing.assert_allclose(a.data, b.data)
+
+
+def test_buffers_roundtrip(tmp_path):
+    bn = BatchNorm(3)
+    bn(Tensor(np.random.default_rng(0).normal(size=(16, 3))))
+    path = tmp_path / "bn.npz"
+    save_state_dict(bn, path)
+
+    fresh = BatchNorm(3)
+    load_state_dict(fresh, path)
+    np.testing.assert_allclose(fresh.running_var, bn.running_var)
+
+
+def test_identical_outputs_after_load(tmp_path):
+    net = Sequential(Linear(5, 8, rng=0), ReLU(), Linear(8, 1, rng=1))
+    path = tmp_path / "net.npz"
+    save_state_dict(net, path)
+    clone = Sequential(Linear(5, 8, rng=42), ReLU(), Linear(8, 1, rng=43))
+    load_state_dict(clone, path)
+    x = Tensor(np.random.default_rng(1).normal(size=(4, 5)))
+    np.testing.assert_allclose(net(x).data, clone(x).data)

@@ -1,0 +1,340 @@
+"""Unit tests for the autograd Tensor: forward values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concatenate, maximum, minimum, no_grad, stack, where
+from tests.nn.gradcheck import assert_gradients_close
+
+
+class TestForwardValues:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar(self):
+        np.testing.assert_allclose((Tensor([1.0]) + 2.0).data, [3.0])
+
+    def test_radd(self):
+        np.testing.assert_allclose((2.0 + Tensor([1.0])).data, [3.0])
+
+    def test_sub(self):
+        np.testing.assert_allclose((Tensor([3.0]) - Tensor([1.0])).data, [2.0])
+
+    def test_rsub(self):
+        np.testing.assert_allclose((5.0 - Tensor([1.0])).data, [4.0])
+
+    def test_mul(self):
+        np.testing.assert_allclose((Tensor([2.0]) * Tensor([3.0])).data, [6.0])
+
+    def test_div(self):
+        np.testing.assert_allclose((Tensor([6.0]) / Tensor([3.0])).data, [2.0])
+
+    def test_rdiv(self):
+        np.testing.assert_allclose((6.0 / Tensor([3.0])).data, [2.0])
+
+    def test_neg(self):
+        np.testing.assert_allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_pow(self):
+        np.testing.assert_allclose((Tensor([2.0]) ** 3).data, [8.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([3.0])
+
+    def test_matmul_2d(self):
+        a = Tensor(np.eye(2))
+        b = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose((a @ b).data, b.data)
+
+    def test_numpy_array_left_operand_defers(self):
+        out = np.array([1.0, 2.0]) * Tensor([3.0, 4.0])
+        assert isinstance(out, Tensor)
+        np.testing.assert_allclose(out.data, [3.0, 8.0])
+
+    def test_sum_axis(self):
+        out = Tensor([[1.0, 2.0], [3.0, 4.0]]).sum(axis=0)
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_mean(self):
+        assert Tensor([[2.0, 4.0]]).mean().item() == pytest.approx(3.0)
+
+    def test_max_axis(self):
+        out = Tensor([[1.0, 5.0], [3.0, 2.0]]).max(axis=1)
+        np.testing.assert_allclose(out.data, [5.0, 3.0])
+
+    def test_min(self):
+        assert Tensor([3.0, -1.0, 2.0]).min().item() == pytest.approx(-1.0)
+
+    def test_reshape(self):
+        assert Tensor(np.zeros((2, 3))).reshape(3, 2).shape == (3, 2)
+
+    def test_reshape_minus_one(self):
+        assert Tensor(np.zeros((2, 3))).reshape(-1).shape == (6,)
+
+    def test_transpose(self):
+        assert Tensor(np.zeros((2, 3, 4))).transpose(2, 0, 1).shape == (4, 2, 3)
+
+    def test_transpose_default_reverses(self):
+        assert Tensor(np.zeros((2, 3))).transpose().shape == (3, 2)
+
+    def test_getitem(self):
+        out = Tensor([[1.0, 2.0], [3.0, 4.0]])[1]
+        np.testing.assert_allclose(out.data, [3.0, 4.0])
+
+    def test_expand_squeeze(self):
+        t = Tensor(np.zeros((2, 3)))
+        assert t.expand_dims(0).shape == (1, 2, 3)
+        assert t.expand_dims(0).squeeze(0).shape == (2, 3)
+
+    def test_pad(self):
+        out = Tensor(np.ones((2, 2))).pad(((1, 1), (0, 0)))
+        assert out.shape == (4, 2)
+        assert out.data[0, 0] == 0.0
+
+    def test_exp_log_roundtrip(self):
+        values = np.array([0.5, 1.0, 2.0])
+        out = Tensor(values).log().exp()
+        np.testing.assert_allclose(out.data, values)
+
+    def test_sqrt(self):
+        np.testing.assert_allclose(Tensor([4.0]).sqrt().data, [2.0])
+
+    def test_abs(self):
+        np.testing.assert_allclose(Tensor([-2.0, 3.0]).abs().data, [2.0, 3.0])
+
+    def test_relu(self):
+        np.testing.assert_allclose(Tensor([-1.0, 2.0]).relu().data, [0.0, 2.0])
+
+    def test_sigmoid_range(self):
+        out = Tensor(np.linspace(-5, 5, 11)).sigmoid()
+        assert np.all((out.data > 0) & (out.data < 1))
+
+    def test_tanh(self):
+        np.testing.assert_allclose(Tensor([0.0]).tanh().data, [0.0])
+
+    def test_clip(self):
+        out = Tensor([-2.0, 0.5, 2.0]).clip(-1.0, 1.0)
+        np.testing.assert_allclose(out.data, [-1.0, 0.5, 1.0])
+
+    def test_softmax_sums_to_one(self):
+        out = Tensor(np.random.default_rng(0).normal(size=(3, 5))).softmax()
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(3))
+
+    def test_log_softmax_consistent(self):
+        x = np.random.default_rng(0).normal(size=(2, 4))
+        np.testing.assert_allclose(
+            Tensor(x).log_softmax().data, np.log(Tensor(x).softmax().data)
+        )
+
+    def test_l2_norms(self):
+        t = Tensor([3.0, 4.0])
+        assert t.l2_norm_squared().item() == pytest.approx(25.0)
+        assert t.l2_norm().item() == pytest.approx(5.0)
+
+    def test_concatenate(self):
+        out = concatenate([Tensor([1.0]), Tensor([2.0, 3.0])])
+        np.testing.assert_allclose(out.data, [1.0, 2.0, 3.0])
+
+    def test_stack(self):
+        out = stack([Tensor([1.0, 2.0]), Tensor([3.0, 4.0])], axis=0)
+        assert out.shape == (2, 2)
+
+    def test_where(self):
+        out = where(np.array([True, False]), Tensor([1.0, 1.0]),
+                    Tensor([2.0, 2.0]))
+        np.testing.assert_allclose(out.data, [1.0, 2.0])
+
+    def test_maximum_minimum(self):
+        a, b = Tensor([1.0, 4.0]), Tensor([2.0, 3.0])
+        np.testing.assert_allclose(maximum(a, b).data, [2.0, 4.0])
+        np.testing.assert_allclose(minimum(a, b).data, [1.0, 3.0])
+
+    def test_item_rejects_multielement(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_len_and_repr(self):
+        t = Tensor(np.zeros((4, 2)), requires_grad=True)
+        assert len(t) == 4
+        assert "requires_grad=True" in repr(t)
+
+
+class TestGradients:
+    def test_add_broadcast(self, rng):
+        assert_gradients_close(
+            lambda t: ((t["a"] + t["b"]) ** 2).sum(),
+            {"a": rng.normal(size=(3, 4)), "b": rng.normal(size=(4,))},
+        )
+
+    def test_mul_broadcast(self, rng):
+        assert_gradients_close(
+            lambda t: (t["a"] * t["b"]).sum(),
+            {"a": rng.normal(size=(2, 1, 3)), "b": rng.normal(size=(4, 1))},
+        )
+
+    def test_div(self, rng):
+        assert_gradients_close(
+            lambda t: (t["a"] / (t["b"].abs() + 1.0)).sum(),
+            {"a": rng.normal(size=(3,)), "b": rng.normal(size=(3,))},
+        )
+
+    def test_matmul(self, rng):
+        assert_gradients_close(
+            lambda t: ((t["a"] @ t["b"]) ** 2).sum(),
+            {"a": rng.normal(size=(3, 4)), "b": rng.normal(size=(4, 2))},
+        )
+
+    def test_matmul_vector(self, rng):
+        assert_gradients_close(
+            lambda t: ((t["a"] @ t["b"]) ** 2).sum(),
+            {"a": rng.normal(size=(3, 4)), "b": rng.normal(size=(4,))},
+        )
+
+    def test_sum_keepdims(self, rng):
+        assert_gradients_close(
+            lambda t: (t["x"].sum(axis=1, keepdims=True) ** 2).sum(),
+            {"x": rng.normal(size=(3, 4))},
+        )
+
+    def test_mean_axis_tuple(self, rng):
+        assert_gradients_close(
+            lambda t: (t["x"].mean(axis=(0, 2)) ** 2).sum(),
+            {"x": rng.normal(size=(2, 3, 4))},
+        )
+
+    def test_max_reduction(self, rng):
+        # Distinct values so the argmax is stable under the epsilon probe.
+        values = rng.permutation(12).astype(float).reshape(3, 4)
+        assert_gradients_close(
+            lambda t: (t["x"].max(axis=1) ** 2).sum(), {"x": values},
+        )
+
+    def test_getitem_slice(self, rng):
+        assert_gradients_close(
+            lambda t: (t["x"][1:, ::2] ** 2).sum(),
+            {"x": rng.normal(size=(3, 4))},
+        )
+
+    def test_getitem_fancy(self, rng):
+        index = np.array([0, 2, 2])
+        assert_gradients_close(
+            lambda t: (t["x"][index] ** 2).sum(),
+            {"x": rng.normal(size=(3, 4))},
+        )
+
+    def test_reshape_transpose_chain(self, rng):
+        assert_gradients_close(
+            lambda t: (t["x"].transpose(1, 0).reshape(-1) ** 3).sum(),
+            {"x": rng.normal(size=(3, 4))},
+        )
+
+    def test_exp_log_sqrt(self, rng):
+        assert_gradients_close(
+            lambda t: ((t["x"].abs() + 1.0).log() + (t["x"] ** 2 + 1.0).sqrt()).sum(),
+            {"x": rng.normal(size=(5,))},
+        )
+
+    def test_sigmoid_tanh_relu(self, rng):
+        assert_gradients_close(
+            lambda t: (t["x"].sigmoid() * t["x"].tanh() + t["x"].relu()).sum(),
+            {"x": rng.normal(size=(6,)) + 0.1},
+        )
+
+    def test_clip_passthrough_region(self, rng):
+        values = rng.uniform(-0.5, 0.5, size=(5,))
+        assert_gradients_close(
+            lambda t: (t["x"].clip(-1.0, 1.0) ** 2).sum(), {"x": values},
+        )
+
+    def test_softmax(self, rng):
+        assert_gradients_close(
+            lambda t: (t["x"].softmax(axis=-1) ** 2).sum(),
+            {"x": rng.normal(size=(2, 5))},
+        )
+
+    def test_log_softmax(self, rng):
+        assert_gradients_close(
+            lambda t: (t["x"].log_softmax(axis=-1) * 0.1).sum(),
+            {"x": rng.normal(size=(2, 5))},
+        )
+
+    def test_concat_stack(self, rng):
+        def loss(t):
+            joined = concatenate([t["a"], t["b"]], axis=0)
+            stacked = stack([joined, joined * 2.0], axis=1)
+            return (stacked**2).sum()
+
+        assert_gradients_close(
+            loss, {"a": rng.normal(size=(2, 3)), "b": rng.normal(size=(4, 3))},
+        )
+
+    def test_where_gradient(self, rng):
+        condition = rng.random((4,)) > 0.5
+
+        def loss(t):
+            return (where(condition, t["a"], t["b"]) ** 2).sum()
+
+        assert_gradients_close(
+            loss, {"a": rng.normal(size=(4,)), "b": rng.normal(size=(4,))},
+        )
+
+    def test_pad_gradient(self, rng):
+        assert_gradients_close(
+            lambda t: (t["x"].pad(((1, 2), (0, 1))) ** 2).sum(),
+            {"x": rng.normal(size=(2, 3))},
+        )
+
+    def test_reused_tensor_accumulates(self):
+        x = Tensor([2.0], requires_grad=True)
+        loss = (x * x) + (x * 3.0)
+        loss.backward()
+        np.testing.assert_allclose(x.grad, [7.0])  # 2x + 3
+
+    def test_backward_accumulates_across_calls(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).backward()
+        (x * 3.0).backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_leaf_backward(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        x.backward(np.array([3.0, 4.0]))
+        np.testing.assert_allclose(x.grad, [3.0, 4.0])
+
+    def test_backward_on_non_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_detach(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x.detach() * 2.0
+        assert not y.requires_grad
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_diamond_graph(self):
+        x = Tensor([2.0], requires_grad=True)
+        a = x * 3.0
+        b = x * 4.0
+        (a * b).backward()  # d/dx 12x^2 = 24x = 48
+        np.testing.assert_allclose(x.grad, [48.0])

@@ -1,0 +1,113 @@
+"""Property-based tests (hypothesis) for autograd invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor
+
+finite_arrays = arrays(
+    dtype=np.float64,
+    shape=array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=5),
+    elements=st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays)
+def test_sum_gradient_is_ones(values):
+    x = Tensor(values.copy(), requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(values))
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays)
+def test_identity_chain_gradient(values):
+    x = Tensor(values.copy(), requires_grad=True)
+    ((x + 0.0) * 1.0).sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(values))
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays, st.floats(-3.0, 3.0, allow_nan=False))
+def test_scalar_mul_gradient(values, scalar):
+    x = Tensor(values.copy(), requires_grad=True)
+    (x * scalar).sum().backward()
+    np.testing.assert_allclose(x.grad, np.full_like(values, scalar))
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays)
+def test_addition_commutes(values):
+    a, b = Tensor(values), Tensor(values[::-1].copy())
+    np.testing.assert_allclose((a + b).data, (b + a).data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays)
+def test_relu_output_nonnegative(values):
+    assert np.all(Tensor(values).relu().data >= 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays)
+def test_clip_within_bounds(values):
+    out = Tensor(values).clip(-1.0, 1.0).data
+    assert np.all(out >= -1.0) and np.all(out <= 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays)
+def test_softmax_is_distribution(values):
+    out = Tensor(values).softmax(axis=-1).data
+    assert np.all(out >= 0.0)
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(out.shape[:-1]),
+                               rtol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays)
+def test_reshape_roundtrip_preserves_gradient(values):
+    x = Tensor(values.copy(), requires_grad=True)
+    (x.reshape(-1).reshape(values.shape) * 2.0).sum().backward()
+    np.testing.assert_allclose(x.grad, np.full_like(values, 2.0))
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays)
+def test_mean_matches_numpy(values):
+    assert Tensor(values).mean().item() == float(values.mean())
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays)
+def test_abs_gradient_is_sign(values):
+    # Exclude exact zeros where |x| is not differentiable.
+    values = np.where(values == 0.0, 1.0, values)
+    x = Tensor(values.copy(), requires_grad=True)
+    x.abs().sum().backward()
+    np.testing.assert_allclose(x.grad, np.sign(values))
+
+
+@settings(max_examples=30, deadline=None)
+@given(finite_arrays, finite_arrays)
+def test_broadcast_gradient_shapes_match_leaves(left, right):
+    try:
+        np.broadcast_shapes(left.shape, right.shape)
+    except ValueError:
+        return  # incompatible shapes are out of scope
+    a = Tensor(left.copy(), requires_grad=True)
+    b = Tensor(right.copy(), requires_grad=True)
+    (a * b).sum().backward()
+    assert a.grad.shape == left.shape
+    assert b.grad.shape == right.shape
+
+
+@settings(max_examples=30, deadline=None)
+@given(finite_arrays)
+def test_l2_norm_matches_numpy(values):
+    expected = float(np.sqrt((values**2).sum() + 1e-12))
+    np.testing.assert_allclose(Tensor(values).l2_norm().item(), expected,
+                               rtol=1e-9)

@@ -1,0 +1,111 @@
+"""Tests for the IVF approximate nearest-neighbour index."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval import FeatureIndex
+from repro.retrieval.ann import IVFIndex, _kmeans
+
+
+@pytest.fixture
+def clustered_features(rng):
+    """Three well-separated feature clusters with ids/labels."""
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    features, ids, labels = [], [], []
+    for c, center in enumerate(centers):
+        for i in range(10):
+            features.append(center + rng.normal(scale=0.3, size=2))
+            ids.append(f"c{c}-{i}")
+            labels.append(c)
+    return np.asarray(features), ids, labels
+
+
+class TestKMeans:
+    def test_centroid_count(self, rng):
+        points = rng.normal(size=(30, 4))
+        centroids = _kmeans(points, 5, rng=rng)
+        assert centroids.shape == (5, 4)
+
+    def test_recovers_separated_clusters(self, clustered_features, rng):
+        features, _, _ = clustered_features
+        centroids = _kmeans(features, 3, rng=rng)
+        # Each true centre should have one centroid nearby.
+        for center in ([0, 0], [10, 0], [0, 10]):
+            distances = np.linalg.norm(centroids - np.asarray(center), axis=1)
+            assert distances.min() < 1.5
+
+
+class TestIVFIndex:
+    def test_basic_search(self, clustered_features, rng):
+        features, ids, labels = clustered_features
+        index = IVFIndex(num_cells=3, nprobe=1, rng=rng)
+        index.add_batch(ids, labels, features)
+        result = index.search(np.array([0.1, -0.1]), k=5)
+        assert len(result) == 5
+        assert all(entry.video_id.startswith("c0") for entry in result)
+
+    def test_empty_index(self):
+        assert IVFIndex().search(np.zeros(2), k=3) == []
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            IVFIndex(num_cells=0)
+        with pytest.raises(ValueError):
+            IVFIndex(nprobe=0)
+
+    def test_scores_descending(self, clustered_features, rng):
+        features, ids, labels = clustered_features
+        index = IVFIndex(num_cells=3, nprobe=3, rng=rng)
+        index.add_batch(ids, labels, features)
+        scores = [e.score for e in index.search(np.zeros(2), k=8)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_full_probe_matches_exact(self, clustered_features, rng):
+        features, ids, labels = clustered_features
+        approx = IVFIndex(num_cells=3, nprobe=3, rng=rng)
+        exact = FeatureIndex()
+        approx.add_batch(ids, labels, features)
+        exact.add_batch(ids, labels, features)
+        query = rng.normal(size=2)
+        assert [e.video_id for e in approx.search(query, k=6)] == \
+            [e.video_id for e in exact.search(query, k=6)]
+
+    def test_recall_monotone_in_nprobe(self, rng):
+        features = rng.normal(size=(120, 8))
+        ids = [f"v{i}" for i in range(120)]
+        labels = [0] * 120
+        exact = FeatureIndex()
+        exact.add_batch(ids, labels, features)
+        queries = rng.normal(size=(10, 8))
+        recalls = []
+        for nprobe in (1, 2, 6):
+            index = IVFIndex(num_cells=6, nprobe=nprobe, rng=7)
+            index.add_batch(ids, labels, features)
+            recalls.append(index.recall_at_k(exact, queries, k=10))
+        assert recalls[0] <= recalls[-1]
+        assert recalls[-1] == pytest.approx(1.0)
+
+    def test_rebuild_after_adds(self, clustered_features, rng):
+        features, ids, labels = clustered_features
+        index = IVFIndex(num_cells=3, nprobe=3, rng=rng)
+        index.add_batch(ids[:15], labels[:15], features[:15])
+        index.search(np.zeros(2), k=3)  # builds
+        index.add_batch(ids[15:], labels[15:], features[15:])
+        result = index.search(np.array([0.0, 10.0]), k=3)
+        assert any(entry.video_id.startswith("c2") for entry in result)
+
+    def test_labels_of(self, clustered_features, rng):
+        features, ids, labels = clustered_features
+        index = IVFIndex(rng=rng)
+        index.add_batch(ids, labels, features)
+        assert sorted(set(index.labels_of())) == [0, 1, 2]
+
+    def test_usable_inside_data_node(self, clustered_features, rng):
+        from repro.retrieval import DataNode
+
+        features, ids, labels = clustered_features
+        node = DataNode("ann-node")
+        node.index = IVFIndex(num_cells=3, nprobe=3, rng=rng)
+        for video_id, label, feature in zip(ids, labels, features):
+            node.add(video_id, label, feature)
+        assert len(node.search(np.zeros(2), k=4)) == 4

@@ -1,0 +1,76 @@
+"""Tests for the flat feature index."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval import FeatureIndex, cosine, negative_l2, create_similarity
+
+
+class TestFeatureIndex:
+    @pytest.fixture
+    def index(self, rng):
+        index = FeatureIndex()
+        for i in range(10):
+            index.add(f"v{i}", i % 3, np.full(4, float(i)))
+        return index
+
+    def test_len(self, index):
+        assert len(index) == 10
+
+    def test_search_orders_by_similarity(self, index):
+        entries = index.search(np.full(4, 2.2), k=3)
+        assert [e.video_id for e in entries] == ["v2", "v3", "v1"]
+
+    def test_scores_descending(self, index):
+        entries = index.search(np.zeros(4), k=5)
+        scores = [e.score for e in entries]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_clamped_to_size(self, index):
+        assert len(index.search(np.zeros(4), k=50)) == 10
+
+    def test_empty_index(self):
+        assert FeatureIndex().search(np.zeros(4), k=3) == []
+
+    def test_labels_preserved(self, index):
+        entries = index.search(np.zeros(4), k=3)
+        assert entries[0].label == 0
+
+    def test_dim_mismatch_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.add("bad", 0, np.zeros(7))
+
+    def test_add_batch(self, rng):
+        index = FeatureIndex()
+        index.add_batch(["a", "b"], [0, 1], rng.normal(size=(2, 3)))
+        assert len(index) == 2
+
+    def test_labels_of(self, index):
+        assert sorted(set(index.labels_of())) == [0, 1, 2]
+
+    def test_cosine_similarity_variant(self, rng):
+        index = FeatureIndex(similarity=cosine)
+        index.add("x", 0, np.array([1.0, 0.0]))
+        index.add("y", 1, np.array([0.0, 1.0]))
+        top = index.search(np.array([0.9, 0.1]), k=1)[0]
+        assert top.video_id == "x"
+
+
+class TestSimilarities:
+    def test_negative_l2_identity_best(self, rng):
+        gallery = rng.normal(size=(5, 3))
+        scores = negative_l2(gallery[2], gallery)
+        assert scores.argmax() == 2
+        assert scores[2] == pytest.approx(0.0)
+
+    def test_cosine_bounds(self, rng):
+        gallery = rng.normal(size=(10, 4))
+        scores = cosine(rng.normal(size=4), gallery)
+        assert np.all(scores <= 1.0 + 1e-9)
+        assert np.all(scores >= -1.0 - 1e-9)
+
+    def test_create_similarity(self):
+        assert create_similarity("l2") is negative_l2
+        assert create_similarity("COSINE") is cosine
+        with pytest.raises(KeyError):
+            create_similarity("dot")

@@ -1,0 +1,91 @@
+"""Tests for the distributed sharded gallery (incl. failure injection)."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval import (
+    DataNode,
+    FeatureIndex,
+    NodeDownError,
+    ShardedGallery,
+)
+
+
+@pytest.fixture
+def gallery(rng):
+    gallery = ShardedGallery(num_nodes=3)
+    for i in range(12):
+        gallery.add(f"v{i}", i % 4, rng.normal(size=5))
+    return gallery
+
+
+class TestSharding:
+    def test_round_robin_placement(self, gallery):
+        sizes = [len(node) for node in gallery.nodes]
+        assert sizes == [4, 4, 4]
+
+    def test_total_length(self, gallery):
+        assert len(gallery) == 12
+
+    def test_needs_at_least_one_node(self):
+        with pytest.raises(ValueError):
+            ShardedGallery(num_nodes=0)
+
+    def test_topology_is_star(self, gallery):
+        assert gallery.topology.number_of_nodes() == 4
+        assert gallery.topology.degree("coordinator") == 3
+
+
+class TestScatterGather:
+    def test_merge_matches_flat_index(self, rng):
+        gallery = ShardedGallery(num_nodes=4)
+        flat = FeatureIndex()
+        features = rng.normal(size=(20, 6))
+        for i, feature in enumerate(features):
+            gallery.add(f"v{i}", 0, feature)
+            flat.add(f"v{i}", 0, feature)
+        query = rng.normal(size=6)
+        merged = [e.video_id for e in gallery.search(query, k=7)]
+        reference = [e.video_id for e in flat.search(query, k=7)]
+        assert merged == reference
+
+    def test_search_scores_descending(self, gallery, rng):
+        entries = gallery.search(rng.normal(size=5), k=8)
+        scores = [e.score for e in entries]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_labels_of_spans_shards(self, gallery):
+        assert len(gallery.labels_of()) == 12
+
+
+class TestFailureInjection:
+    def test_downed_node_raises_on_direct_search(self, rng):
+        node = DataNode("n0")
+        node.add("v", 0, rng.normal(size=3))
+        node.take_down()
+        with pytest.raises(NodeDownError):
+            node.search(rng.normal(size=3), 1)
+
+    def test_gallery_degrades_gracefully(self, gallery, rng):
+        query = rng.normal(size=5)
+        full = gallery.search(query, k=12)
+        gallery.nodes[0].take_down()
+        degraded = gallery.search(query, k=12)
+        assert len(degraded) == 8  # one shard of 4 missing
+        surviving = {e.video_id for e in degraded}
+        assert surviving.issubset({e.video_id for e in full})
+
+    def test_recovery(self, gallery, rng):
+        gallery.nodes[1].take_down()
+        gallery.nodes[1].bring_up()
+        assert len(gallery.search(rng.normal(size=5), k=12)) == 12
+
+    def test_all_nodes_down_returns_empty(self, gallery, rng):
+        for node in gallery.nodes:
+            node.take_down()
+        assert gallery.search(rng.normal(size=5), k=5) == []
+        assert gallery.live_nodes == []
+
+    def test_search_counts(self, gallery, rng):
+        gallery.search(rng.normal(size=5), k=3)
+        assert all(node.search_count == 1 for node in gallery.nodes)

@@ -1,0 +1,55 @@
+"""Tests for the model-stealing crawl and the stolen dataset."""
+
+import pytest
+
+from repro.surrogate import StolenRankingDataset, StolenRow, steal_training_set
+
+
+@pytest.fixture(scope="module")
+def stolen(tiny_victim, tiny_dataset):
+    tiny_victim.service.reset_query_count()
+    return steal_training_set(
+        tiny_victim.service, tiny_dataset.test, tiny_victim.video_lookup,
+        rounds=2, branch=2, rng=0,
+    )
+
+
+class TestStealing:
+    def test_rows_structured(self, stolen):
+        assert len(stolen) >= 1
+        for row in stolen.rows:
+            assert isinstance(row, StolenRow)
+            assert all(v.video_id for v in row.returned)
+
+    def test_queries_counted(self, stolen):
+        # Each round: 1 root + up to `branch` expansions.
+        assert 1 <= stolen.queries_spent <= 2 * (1 + 2)
+
+    def test_no_duplicate_queries(self, tiny_victim, tiny_dataset):
+        stolen = steal_training_set(
+            tiny_victim.service, tiny_dataset.test, tiny_victim.video_lookup,
+            rounds=3, branch=3, rng=1,
+        )
+        ids = [row.query.video_id for row in stolen.rows]
+        assert len(ids) == len(set(ids))
+
+    def test_num_samples_counts_unique_videos(self, stolen):
+        assert stolen.num_samples >= len(stolen)
+
+    def test_num_triples(self):
+        row = StolenRow(query=None, returned=[1, 2, 3, 4])
+        assert row.num_triples == 6
+
+    def test_split_ratio(self, stolen):
+        train, test = stolen.split(train_ratio=0.5, rng=0)
+        assert len(train) + len(test) == len(stolen)
+
+    def test_truncate(self, stolen):
+        truncated = stolen.truncate(1)
+        assert len(truncated) == 1
+
+    def test_returned_videos_resolve_to_gallery(self, stolen, tiny_victim):
+        lookup = tiny_victim.video_lookup
+        for row in stolen.rows:
+            for video in row.returned:
+                assert video.video_id in lookup

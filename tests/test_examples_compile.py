@@ -1,0 +1,41 @@
+"""The example scripts must at least parse and compile.
+
+Running them end-to-end takes minutes each (they build real victim
+systems); full runs are exercised manually / in CI nightlies.  Here we
+guarantee they stay syntactically valid and import only existing public
+API names.
+"""
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Every ``from repro.x import y`` in an example must resolve."""
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and \
+                node.module.startswith("repro"):
+            module = __import__(node.module, fromlist=[a.name for a in
+                                                       node.names])
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module}.{alias.name} missing"
+                )
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 4  # quickstart + ≥3 domain scenarios

@@ -1,0 +1,91 @@
+"""Tests for metric training and victim assembly."""
+
+import numpy as np
+import pytest
+
+from repro.losses import ArcFaceLoss
+from repro.metrics import evaluate_map
+from repro.models import create_feature_extractor
+from repro.surrogate import SurrogateTrainer, train_surrogate
+from repro.training import MetricTrainer, build_victim_system
+from repro.video import load_dataset
+
+
+@pytest.fixture(scope="module")
+def micro_dataset():
+    return load_dataset("ucf101", num_classes=4, train_videos=16,
+                        test_videos=8, height=16, width=16, num_frames=8,
+                        seed=21)
+
+
+class TestMetricTrainer:
+    def test_loss_decreases(self, micro_dataset):
+        extractor = create_feature_extractor("c3d", feature_dim=16, width=2,
+                                             rng=0)
+        loss = ArcFaceLoss(4, 16, rng=1)
+        trainer = MetricTrainer(loss, epochs=3, rng=2)
+        history = trainer.train(extractor, micro_dataset.train)
+        assert len(history.losses) == 3
+        assert history.losses[-1] < history.losses[0]
+
+    def test_model_left_in_eval_mode(self, micro_dataset):
+        extractor = create_feature_extractor("c3d", feature_dim=16, width=2,
+                                             rng=0)
+        trainer = MetricTrainer(ArcFaceLoss(4, 16, rng=1), epochs=1, rng=2)
+        trainer.train(extractor, micro_dataset.train)
+        assert not extractor.training
+
+    def test_batches_are_class_balanced(self, micro_dataset):
+        trainer = MetricTrainer(ArcFaceLoss(4, 16, rng=1),
+                                classes_per_batch=2, clips_per_class=2, rng=3)
+        for batch in trainer._batches(micro_dataset.train):
+            labels = [video.label for video in batch]
+            assert len(set(labels)) == 2
+            assert len(labels) == 4
+
+
+class TestVictimSystem:
+    def test_build_and_retrieval_beats_chance(self, micro_dataset):
+        victim = build_victim_system(micro_dataset, backbone="resnet18",
+                                     loss="arcface", feature_dim=16, width=2,
+                                     epochs=2, m=8, seed=4)
+        chance = 1.0 / micro_dataset.num_classes
+        score = evaluate_map(victim.engine, micro_dataset.test, m=8)
+        assert score > chance
+
+    def test_gallery_is_train_split(self, tiny_victim, tiny_dataset):
+        assert tiny_victim.engine.gallery_size == len(tiny_dataset.train)
+
+    def test_video_lookup_covers_gallery(self, tiny_victim, tiny_dataset):
+        lookup = tiny_victim.video_lookup
+        assert all(v.video_id in lookup for v in tiny_dataset.train)
+
+    def test_parameters_frozen_after_build(self, tiny_victim):
+        params = tiny_victim.engine.extractor.parameters()
+        assert all(not p.requires_grad for p in params)
+
+
+class TestSurrogateTrainer:
+    def test_history_recorded(self, tiny_victim, tiny_dataset):
+        from repro.surrogate import steal_training_set
+
+        stolen = steal_training_set(
+            tiny_victim.service, tiny_dataset.test, tiny_victim.video_lookup,
+            rounds=1, branch=1, rng=0,
+        )
+        surrogate = create_feature_extractor("c3d", feature_dim=16, width=2,
+                                             rng=5)
+        trainer = SurrogateTrainer(epochs=2, rng=6)
+        history = trainer.train(surrogate, stolen)
+        assert len(history) == 2
+
+    def test_train_surrogate_freezes(self, tiny_victim, tiny_dataset):
+        from repro.surrogate import steal_training_set
+
+        stolen = steal_training_set(
+            tiny_victim.service, tiny_dataset.test, tiny_victim.video_lookup,
+            rounds=1, branch=1, rng=0,
+        )
+        surrogate = train_surrogate(stolen, backbone="c3d", feature_dim=16,
+                                    width=2, epochs=1, seed=1)
+        assert all(not p.requires_grad for p in surrogate.parameters())

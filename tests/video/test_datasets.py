@@ -1,0 +1,113 @@
+"""Tests for the synthetic dataset loaders."""
+
+import numpy as np
+import pytest
+
+from repro.video import (
+    HMDB51_SPEC,
+    UCF101_SPEC,
+    DatasetSpec,
+    SyntheticVideoDataset,
+    load_dataset,
+)
+
+
+class TestSpecs:
+    def test_paper_scale_sizes(self):
+        assert UCF101_SPEC.train_videos == 9324
+        assert UCF101_SPEC.test_videos == 3996
+        assert UCF101_SPEC.num_classes == 101
+        assert HMDB51_SPEC.train_videos == 4900
+        assert HMDB51_SPEC.num_classes == 51
+
+    def test_scaled_keeps_identity(self):
+        scaled = UCF101_SPEC.scaled(num_classes=5, train_videos=20,
+                                    test_videos=5, height=16, width=16)
+        assert scaled.name == "ucf101"
+        assert scaled.num_classes == 5
+
+
+class TestLoadDataset:
+    def test_default_scale(self):
+        ds = load_dataset("ucf101")
+        assert ds.name == "ucf101"
+        assert ds.num_classes == 10
+
+    def test_overrides(self):
+        ds = load_dataset("hmdb51", num_classes=4, train_videos=8,
+                          test_videos=4, height=12, width=12)
+        assert ds.num_classes == 4
+        assert len(ds.train) == 8
+        assert len(ds.test) == 4
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("kinetics")
+
+    def test_num_frames_override(self):
+        ds = load_dataset("ucf101", num_classes=3, train_videos=3,
+                          test_videos=3, height=8, width=8, num_frames=4)
+        assert ds.train[0].num_frames == 4
+
+
+class TestSyntheticVideoDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return load_dataset("ucf101", num_classes=4, train_videos=12,
+                            test_videos=6, height=12, width=12, seed=3)
+
+    def test_split_sizes(self, dataset):
+        assert len(dataset.train) == 12
+        assert len(dataset.test) == 6
+
+    def test_labels_cover_classes(self, dataset):
+        labels = {video.label for video in dataset.train}
+        assert labels == {0, 1, 2, 3}
+
+    def test_video_ids_unique(self, dataset):
+        ids = [video.video_id for video in dataset.train + dataset.test]
+        assert len(ids) == len(set(ids))
+
+    def test_split_cached(self, dataset):
+        assert dataset.train is dataset.train
+
+    def test_unknown_split(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.split("validation")
+
+    def test_determinism(self):
+        a = load_dataset("ucf101", num_classes=3, train_videos=6,
+                         test_videos=3, height=10, width=10, seed=9)
+        b = load_dataset("ucf101", num_classes=3, train_videos=6,
+                         test_videos=3, height=10, width=10, seed=9)
+        np.testing.assert_array_equal(a.train[0].pixels, b.train[0].pixels)
+
+    def test_seed_changes_content(self):
+        a = load_dataset("ucf101", num_classes=3, train_videos=6,
+                         test_videos=3, height=10, width=10, seed=1)
+        b = load_dataset("ucf101", num_classes=3, train_videos=6,
+                         test_videos=3, height=10, width=10, seed=2)
+        assert not np.array_equal(a.train[0].pixels, b.train[0].pixels)
+
+    def test_datasets_use_disjoint_recipes(self):
+        ucf = load_dataset("ucf101", num_classes=2, train_videos=2,
+                           test_videos=2, height=10, width=10)
+        hmdb = load_dataset("hmdb51", num_classes=2, train_videos=2,
+                            test_videos=2, height=10, width=10)
+        assert not np.array_equal(ucf.train[0].pixels, hmdb.train[0].pixels)
+
+    def test_attack_pairs_have_distinct_labels(self, dataset):
+        for original, target in dataset.sample_attack_pairs(5):
+            assert original.label != target.label
+
+    def test_attack_pairs_deterministic(self, dataset):
+        a = dataset.sample_attack_pairs(3, rng_or_seed=1)
+        b = dataset.sample_attack_pairs(3, rng_or_seed=1)
+        assert [p[0].video_id for p in a] == [p[0].video_id for p in b]
+
+    def test_needs_one_video_per_class(self):
+        with pytest.raises(ValueError):
+            SyntheticVideoDataset(
+                UCF101_SPEC.scaled(num_classes=10, train_videos=5,
+                                   test_videos=2, height=8, width=8)
+            )

@@ -1,0 +1,76 @@
+"""Tests for the procedural motion generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.motion import class_spec, render_clip, _sprite_mask
+
+
+class TestClassSpec:
+    def test_deterministic(self):
+        assert class_spec(7) == class_spec(7)
+
+    def test_distinct_classes_differ(self):
+        specs = [class_spec(i) for i in range(10)]
+        assert len({(s.motion, s.shape, s.color) for s in specs}) > 1
+
+    def test_motion_cycles(self):
+        motions = {class_spec(i).motion for i in range(5)}
+        assert motions == {"translate", "oscillate", "orbit", "zoom", "shear"}
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 500))
+    def test_parameters_in_range(self, index):
+        spec = class_spec(index)
+        assert 0.0 < spec.size < 0.5
+        assert 0.0 < spec.speed <= 1.0
+        assert all(0.0 <= c <= 1.0 for c in spec.color)
+
+
+class TestRenderClip:
+    def test_shape_and_range(self):
+        clip = render_clip(class_spec(0), 8, 16, 20, rng=0)
+        assert clip.shape == (8, 16, 20, 3)
+        assert clip.min() >= 0.0 and clip.max() <= 1.0
+
+    def test_deterministic_with_seed(self):
+        a = render_clip(class_spec(1), 4, 12, 12, rng=5)
+        b = render_clip(class_spec(1), 4, 12, 12, rng=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_instances_differ(self):
+        a = render_clip(class_spec(1), 4, 12, 12, rng=5)
+        b = render_clip(class_spec(1), 4, 12, 12, rng=6)
+        assert not np.array_equal(a, b)
+
+    def test_motion_present(self):
+        clip = render_clip(class_spec(0), 8, 16, 16, rng=0, noise=0.0)
+        assert np.abs(np.diff(clip, axis=0)).max() > 0.05
+
+    def test_no_noise_is_clean(self):
+        a = render_clip(class_spec(2), 2, 8, 8, rng=3, noise=0.0)
+        b = render_clip(class_spec(2), 2, 8, 8, rng=3, noise=0.0)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("class_index", range(8))
+    def test_all_class_recipes_render(self, class_index):
+        clip = render_clip(class_spec(class_index), 3, 10, 10, rng=0)
+        assert np.isfinite(clip).all()
+
+
+class TestSpriteMask:
+    def test_unknown_shape_raises(self):
+        yy, xx = np.meshgrid(np.linspace(0, 1, 4), np.linspace(0, 1, 4),
+                             indexing="ij")
+        with pytest.raises(ValueError):
+            _sprite_mask("hexagon", yy, xx, 0.5, 0.5, 0.2, 0.0)
+
+    @pytest.mark.parametrize("shape", ["square", "disc", "bar", "cross"])
+    def test_mask_in_unit_range(self, shape):
+        yy, xx = np.meshgrid(np.linspace(0, 1, 8), np.linspace(0, 1, 8),
+                             indexing="ij")
+        mask = _sprite_mask(shape, yy, xx, 0.5, 0.5, 0.25, 0.3)
+        assert mask.min() >= 0.0 and mask.max() <= 1.0
+        assert mask.max() > 0.0  # the sprite is visible

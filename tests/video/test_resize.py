@@ -1,0 +1,56 @@
+"""Tests for bilinear video resizing."""
+
+import numpy as np
+import pytest
+
+from repro.video import Video
+from repro.video.resize import resize_video
+
+
+def make_video(rng, h=12, w=16):
+    return Video(rng.random((3, h, w, 3)), label=1, video_id="v")
+
+
+def test_output_shape(rng):
+    out = resize_video(make_video(rng), 24, 20)
+    assert out.pixels.shape == (3, 24, 20, 3)
+
+
+def test_identity_when_same_size(rng):
+    video = make_video(rng)
+    out = resize_video(video, 12, 16)
+    np.testing.assert_allclose(out.pixels, video.pixels)
+
+
+def test_constant_video_preserved(rng):
+    video = Video(np.full((2, 8, 8, 3), 0.3))
+    out = resize_video(video, 16, 16)
+    np.testing.assert_allclose(out.pixels, 0.3, atol=1e-12)
+
+
+def test_downsample_then_upsample_approximates(rng):
+    # Smooth content should round-trip with small error.
+    yy, xx = np.meshgrid(np.linspace(0, 1, 32), np.linspace(0, 1, 32),
+                         indexing="ij")
+    smooth = np.sin(2 * np.pi * yy)[None, :, :, None] * 0.25 + 0.5
+    video = Video(np.broadcast_to(smooth, (2, 32, 32, 3)).copy())
+    down = resize_video(video, 16, 16)
+    up = resize_video(down, 32, 32)
+    assert np.abs(up.pixels - video.pixels).mean() < 0.02
+
+
+def test_range_preserved(rng):
+    out = resize_video(make_video(rng), 7, 23)
+    assert out.pixels.min() >= 0.0 and out.pixels.max() <= 1.0
+
+
+def test_metadata_preserved(rng):
+    video = make_video(rng)
+    out = resize_video(video, 6, 6)
+    assert out.label == video.label
+    assert out.video_id == video.video_id
+
+
+def test_invalid_size_rejected(rng):
+    with pytest.raises(ValueError):
+        resize_video(make_video(rng), 0, 8)

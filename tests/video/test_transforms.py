@@ -1,0 +1,55 @@
+"""Tests for clip transforms."""
+
+import numpy as np
+
+from repro.video import (
+    Video,
+    dequantize_uint8,
+    normalize_clip,
+    quantize_uint8,
+    uniform_temporal_sample,
+)
+
+
+def make_video(rng, frames):
+    return Video(rng.random((frames, 4, 4, 3)), label=0, video_id="v")
+
+
+def test_uniform_sample_downsamples(rng):
+    video = make_video(rng, 32)
+    sampled = uniform_temporal_sample(video, 8)
+    assert sampled.num_frames == 8
+    np.testing.assert_array_equal(sampled.pixels[0], video.pixels[0])
+    np.testing.assert_array_equal(sampled.pixels[-1], video.pixels[-1])
+
+
+def test_uniform_sample_pads_short_clip(rng):
+    video = make_video(rng, 3)
+    sampled = uniform_temporal_sample(video, 6)
+    assert sampled.num_frames == 6
+    np.testing.assert_array_equal(sampled.pixels[-1], video.pixels[-1])
+
+
+def test_uniform_sample_identity(rng):
+    video = make_video(rng, 8)
+    sampled = uniform_temporal_sample(video, 8)
+    np.testing.assert_array_equal(sampled.pixels, video.pixels)
+
+
+def test_quantize_dequantize_roundtrip(rng):
+    video = make_video(rng, 2)
+    quantized = quantize_uint8(video)
+    assert quantized.dtype == np.uint8
+    restored = dequantize_uint8(quantized, label=video.label)
+    assert np.abs(restored.pixels - video.pixels).max() <= 0.5 / 255.0
+
+
+def test_quantize_clamps(rng):
+    video = Video(np.full((1, 2, 2, 3), 1.0))
+    assert quantize_uint8(video).max() == 255
+
+
+def test_normalize_clip(rng):
+    video = make_video(rng, 2)
+    normalized = normalize_clip(video, mean=0.5, std=0.5)
+    np.testing.assert_allclose(normalized, (video.pixels - 0.5) / 0.5)

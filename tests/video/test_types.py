@@ -1,0 +1,76 @@
+"""Tests for the Video container and layout conversions."""
+
+import numpy as np
+import pytest
+
+from repro.video import Video, from_model_input, to_model_input
+
+
+def make_video(rng, frames=4, size=6, label=1):
+    return Video(rng.random((frames, size, size, 3)), label=label,
+                 video_id="test/0")
+
+
+class TestVideo:
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            Video(np.zeros((4, 6, 6)))
+
+    def test_shape_properties(self, rng):
+        video = make_video(rng)
+        assert video.num_frames == 4
+        assert video.frame_shape == (6, 6, 3)
+        assert video.num_pixels_per_frame == 108
+
+    def test_copy_is_deep(self, rng):
+        video = make_video(rng)
+        clone = video.copy()
+        clone.pixels[0, 0, 0, 0] = -1.0
+        assert video.pixels[0, 0, 0, 0] != -1.0
+
+    def test_clipped(self):
+        video = Video(np.full((1, 2, 2, 3), 2.0))
+        assert video.clipped().pixels.max() == 1.0
+
+    def test_perturbed_clips_to_range(self, rng):
+        video = make_video(rng)
+        adversarial = video.perturbed(np.full(video.pixels.shape, 10.0))
+        assert adversarial.pixels.max() <= 1.0
+        assert adversarial.label == video.label
+        assert adversarial.video_id.endswith("+adv")
+
+    def test_perturbed_no_clip(self, rng):
+        video = make_video(rng)
+        adversarial = video.perturbed(np.full(video.pixels.shape, 10.0),
+                                      clip=False)
+        assert adversarial.pixels.max() > 1.0
+
+    def test_perturbation_from(self, rng):
+        video = make_video(rng)
+        perturbation = rng.normal(scale=0.01, size=video.pixels.shape)
+        adversarial = video.perturbed(perturbation, clip=False)
+        np.testing.assert_allclose(
+            adversarial.perturbation_from(video), perturbation
+        )
+
+    def test_perturbation_from_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            make_video(rng, frames=4).perturbation_from(make_video(rng, frames=5))
+
+
+class TestLayoutConversion:
+    def test_to_model_input_shape(self, rng):
+        batch = to_model_input([make_video(rng), make_video(rng)])
+        assert batch.shape == (2, 3, 4, 6, 6)
+
+    def test_single_video_accepted(self, rng):
+        assert to_model_input(make_video(rng)).shape == (1, 3, 4, 6, 6)
+
+    def test_roundtrip(self, rng):
+        video = make_video(rng)
+        restored = from_model_input(to_model_input([video]))[0]
+        np.testing.assert_allclose(restored.pixels, video.pixels)
+
+    def test_from_model_input_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            from_model_input(np.zeros((3, 4, 6, 6)))
