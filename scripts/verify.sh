@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# One-stop verification entry point for CI and pre-PR checks:
+#   1. the tier-1 pytest suite,
+#   2. the observability overhead smoke bench (writes BENCH_obs.json).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== obs overhead smoke bench =="
+python benchmarks/bench_obs_overhead.py --smoke
+
+echo "verify.sh: OK"

@@ -16,6 +16,7 @@ from repro.attacks.duo.sparse_query import SparseQuery
 from repro.attacks.duo.sparse_transfer import SparseTransfer
 from repro.attacks.objective import RetrievalObjective
 from repro.models.feature_extractor import FeatureExtractor
+from repro.obs import counter, gauge, span
 from repro.retrieval.service import RetrievalService
 from repro.utils.logging import get_logger
 from repro.utils.seeding import seeded_rng
@@ -66,9 +67,14 @@ class DUOAttack(Attack):
         adversarial = original
 
         for loop in range(self.iter_num_h):
-            priors = self.transfer.run(current, target, init=None)
-            adversarial, loop_trace = self.query.run(current, priors, objective)
+            with span("attack.duo.loop", loop=loop + 1):
+                priors = self.transfer.run(current, target, init=None)
+                adversarial, loop_trace = self.query.run(current, priors,
+                                                         objective)
             trace.extend(loop_trace)
+            counter("attack.duo.loops").inc()
+            gauge("attack.duo.objective").set(
+                trace[-1] if trace else float("nan"))
             logger.info("duo loop %d/%d T=%.4f", loop + 1, self.iter_num_h,
                         trace[-1] if trace else float("nan"))
             # {I, F, θ, v_adv} → {I, F, θ, v} for the next loop: the
@@ -116,10 +122,13 @@ class DUOAttack(Attack):
         current = original
         trace: list[float] = []
         adversarial = original
-        for _ in range(self.iter_num_h):
-            priors = untargeted_transfer.run(current, None)
-            adversarial, loop_trace = self.query.run(current, priors, objective)
+        for loop in range(self.iter_num_h):
+            with span("attack.duo.loop", loop=loop + 1, mode="untargeted"):
+                priors = untargeted_transfer.run(current, None)
+                adversarial, loop_trace = self.query.run(current, priors,
+                                                         objective)
             trace.extend(loop_trace)
+            counter("attack.duo.loops").inc()
             current = adversarial
         perturbation = adversarial.pixels - original.pixels
         return AttackResult(

@@ -15,6 +15,7 @@ import numpy as np
 from repro.attacks.base import clip_video_range, project_linf
 from repro.attacks.duo.priors import TransferPriors
 from repro.attacks.objective import RetrievalObjective
+from repro.obs import counter, gauge, span
 from repro.utils.logging import get_logger
 from repro.utils.seeding import seeded_rng
 from repro.video.types import Video
@@ -91,31 +92,36 @@ class SparseQuery:
         order = self.rng.permutation(support)
         cursor = 0
 
-        for _ in range(self.iter_num_q):
-            if cursor + block > order.size:
-                order = self.rng.permutation(support)
-                cursor = 0
-            chosen = order[cursor : cursor + block]
-            cursor += block
-            signs = self.rng.choice((-1.0, 1.0), size=chosen.size)
+        with span("attack.duo.query", support=int(support.size), block=block):
+            for _ in range(self.iter_num_q):
+                with span("attack.duo.query.iter"):
+                    if cursor + block > order.size:
+                        order = self.rng.permutation(support)
+                        cursor = 0
+                    chosen = order[cursor : cursor + block]
+                    cursor += block
+                    signs = self.rng.choice((-1.0, 1.0), size=chosen.size)
 
-            for flip in (+1.0, -1.0):
-                candidate = perturbation.copy()
-                candidate.reshape(-1)[chosen] += flip * signs * epsilon
-                candidate = project_linf(candidate, self.tau)
-                candidate = clip_video_range(base, candidate)
-                if np.array_equal(candidate, perturbation):
-                    continue  # projection undid the step; skip the query
-                adversarial = original.perturbed(candidate)
-                value = objective.value(adversarial)
-                trace.append(value)
-                accept = value < best_value or (
-                    self.tie_rule == "move" and value <= best_value
-                )
-                if accept:
-                    best_value = value
-                    perturbation = candidate
-                    current = adversarial
-                    break
+                    for flip in (+1.0, -1.0):
+                        candidate = perturbation.copy()
+                        candidate.reshape(-1)[chosen] += flip * signs * epsilon
+                        candidate = project_linf(candidate, self.tau)
+                        candidate = clip_video_range(base, candidate)
+                        if np.array_equal(candidate, perturbation):
+                            continue  # projection undid the step; skip the query
+                        adversarial = original.perturbed(candidate)
+                        value = objective.value(adversarial)
+                        trace.append(value)
+                        counter("attack.duo.query.evaluations").inc()
+                        accept = value < best_value or (
+                            self.tie_rule == "move" and value <= best_value
+                        )
+                        if accept:
+                            counter("attack.duo.query.accepted").inc()
+                            best_value = value
+                            perturbation = candidate
+                            current = adversarial
+                            break
+            gauge("attack.duo.query.objective").set(best_value)
 
         return current, trace

@@ -29,6 +29,7 @@ from repro.attacks.duo.masks import lp_box_admm_select, select_top_frames
 from repro.attacks.duo.priors import TransferPriors
 from repro.models.feature_extractor import FeatureExtractor
 from repro.nn import Tensor
+from repro.obs import counter, gauge, span
 from repro.utils.logging import get_logger
 from repro.utils.seeding import seeded_rng
 from repro.video.types import Video
@@ -212,14 +213,24 @@ class SparseTransfer:
         reference = target if self.targeted else original
         target_feature = self._embed_target(reference)
 
-        for sweep in range(self.outer_iters):
-            loss_value = self._theta_step(original, priors, target_feature)
-            utility = self._pixel_utility(original, priors, target_feature)
-            priors.pixel_mask = lp_box_admm_select(utility, self.k)
-            self._frame_step(original, priors, target_feature)
-            logger.info("sparse-transfer sweep %d/%d loss=%.4f",
-                        sweep + 1, self.outer_iters, loss_value)
+        with span("attack.duo.transfer", k=self.k, n=self.n):
+            for sweep in range(self.outer_iters):
+                with span("attack.duo.transfer.sweep", sweep=sweep + 1):
+                    with span("attack.duo.transfer.theta_step"):
+                        loss_value = self._theta_step(
+                            original, priors, target_feature)
+                    with span("attack.duo.transfer.pixel_select"):
+                        utility = self._pixel_utility(
+                            original, priors, target_feature)
+                        priors.pixel_mask = lp_box_admm_select(utility, self.k)
+                    with span("attack.duo.transfer.frame_step"):
+                        self._frame_step(original, priors, target_feature)
+                counter("attack.duo.transfer.sweeps").inc()
+                gauge("attack.duo.transfer.loss").set(loss_value)
+                logger.info("sparse-transfer sweep %d/%d loss=%.4f",
+                            sweep + 1, self.outer_iters, loss_value)
 
-        # Final magnitude refinement under the converged masks.
-        self._theta_step(original, priors, target_feature)
+            # Final magnitude refinement under the converged masks.
+            with span("attack.duo.transfer.theta_step"):
+                self._theta_step(original, priors, target_feature)
         return priors

@@ -21,6 +21,7 @@ import numpy as np
 from repro.attacks.base import Attack, AttackResult
 from repro.attacks.objective import RetrievalObjective
 from repro.attacks.search import nes_search, simba_search
+from repro.obs import counter, span
 from repro.retrieval.service import RetrievalService
 from repro.utils.seeding import seeded_rng
 from repro.video.types import Video
@@ -93,15 +94,18 @@ class HeuNesAttack(Attack):
 
     def run(self, original: Video, target: Video) -> AttackResult:
         """Saliency-masked NES attack on the pair ``(v, v_t)``."""
-        objective = RetrievalObjective(self.service, original, target,
-                                       eta=self.eta)
-        support = saliency_support(original, self.k, self.n,
-                                   random_pixels=False, rng=self.rng)
-        adversarial, perturbation, trace = nes_search(
-            original, objective, support, tau=self.tau,
-            iterations=self.iterations, samples=self.samples,
-            sigma=self.sigma, rng=self.rng,
-        )
+        counter("attack.runs", attack=self.name).inc()
+        with span("attack.heu-nes", k=self.k, n=self.n):
+            objective = RetrievalObjective(self.service, original, target,
+                                           eta=self.eta)
+            with span("attack.heu.saliency"):
+                support = saliency_support(original, self.k, self.n,
+                                           random_pixels=False, rng=self.rng)
+            adversarial, perturbation, trace = nes_search(
+                original, objective, support, tau=self.tau,
+                iterations=self.iterations, samples=self.samples,
+                sigma=self.sigma, rng=self.rng,
+            )
         return AttackResult(
             adversarial=adversarial,
             perturbation=perturbation,
@@ -129,14 +133,17 @@ class HeuSimAttack(Attack):
 
     def run(self, original: Video, target: Video) -> AttackResult:
         """Saliency-framed, random-pixel SimBA attack on ``(v, v_t)``."""
-        objective = RetrievalObjective(self.service, original, target,
-                                       eta=self.eta)
-        support = saliency_support(original, self.k, self.n,
-                                   random_pixels=True, rng=self.rng)
-        adversarial, perturbation, trace = simba_search(
-            original, objective, support, tau=self.tau,
-            iterations=self.iterations, rng=self.rng,
-        )
+        counter("attack.runs", attack=self.name).inc()
+        with span("attack.heu-sim", k=self.k, n=self.n):
+            objective = RetrievalObjective(self.service, original, target,
+                                           eta=self.eta)
+            with span("attack.heu.saliency"):
+                support = saliency_support(original, self.k, self.n,
+                                           random_pixels=True, rng=self.rng)
+            adversarial, perturbation, trace = simba_search(
+                original, objective, support, tau=self.tau,
+                iterations=self.iterations, rng=self.rng,
+            )
         return AttackResult(
             adversarial=adversarial,
             perturbation=perturbation,

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.attacks.base import clip_video_range, project_linf
 from repro.attacks.objective import RetrievalObjective
+from repro.obs import counter, gauge, span
 from repro.utils.seeding import seeded_rng
 from repro.video.types import Video
 
@@ -77,27 +78,33 @@ def simba_search(original: Video, objective: RetrievalObjective,
 
     order = rng.permutation(coords)
     cursor = 0
-    for _ in range(int(iterations)):
-        if cursor + block > order.size:
-            order = rng.permutation(coords)
-            cursor = 0
-        chosen = order[cursor : cursor + block]
-        cursor += block
-        signs = rng.choice((-1.0, 1.0), size=chosen.size)
-        for flip in (+1.0, -1.0):
-            candidate = perturbation.copy()
-            candidate.reshape(-1)[chosen] += flip * signs * epsilon
-            candidate = clip_video_range(base, project_linf(candidate, tau))
-            if np.array_equal(candidate, perturbation):
-                continue  # projection undid the step; skip the query
-            adversarial = original.perturbed(candidate)
-            value = objective.value(adversarial)
-            trace.append(value)
-            if value < best or (tie_rule == "move" and value <= best):
-                best = value
-                perturbation = candidate
-                current = adversarial
-                break
+    with span("attack.search.simba", support=int(coords.size), block=block):
+        for _ in range(int(iterations)):
+            with span("attack.search.simba.iter"):
+                if cursor + block > order.size:
+                    order = rng.permutation(coords)
+                    cursor = 0
+                chosen = order[cursor : cursor + block]
+                cursor += block
+                signs = rng.choice((-1.0, 1.0), size=chosen.size)
+                for flip in (+1.0, -1.0):
+                    candidate = perturbation.copy()
+                    candidate.reshape(-1)[chosen] += flip * signs * epsilon
+                    candidate = clip_video_range(base,
+                                                 project_linf(candidate, tau))
+                    if np.array_equal(candidate, perturbation):
+                        continue  # projection undid the step; skip the query
+                    adversarial = original.perturbed(candidate)
+                    value = objective.value(adversarial)
+                    trace.append(value)
+                    counter("attack.search.simba.evaluations").inc()
+                    if value < best or (tie_rule == "move" and value <= best):
+                        counter("attack.search.simba.accepted").inc()
+                        best = value
+                        perturbation = candidate
+                        current = adversarial
+                        break
+        gauge("attack.search.simba.objective").set(best)
     return current, perturbation, trace
 
 
@@ -124,29 +131,36 @@ def nes_search(original: Video, objective: RetrievalObjective,
     best_perturbation = perturbation.copy()
     trace = [best]
 
-    for _ in range(int(iterations)):
-        gradient = np.zeros_like(perturbation)
-        for _ in range(int(samples)):
-            probe = rng.normal(size=perturbation.shape) * mask
-            plus = original.perturbed(
-                clip_video_range(base, project_linf(perturbation + sigma * probe, tau))
-            )
-            minus = original.perturbed(
-                clip_video_range(base, project_linf(perturbation - sigma * probe, tau))
-            )
-            value_plus = objective.value(plus)
-            value_minus = objective.value(minus)
-            trace.extend([value_plus, value_minus])
-            gradient += (value_plus - value_minus) * probe
-        gradient /= 2.0 * sigma * samples
+    with span("attack.search.nes", samples=int(samples)):
+        for _ in range(int(iterations)):
+            with span("attack.search.nes.iter"):
+                gradient = np.zeros_like(perturbation)
+                for _ in range(int(samples)):
+                    probe = rng.normal(size=perturbation.shape) * mask
+                    plus = original.perturbed(
+                        clip_video_range(base, project_linf(perturbation + sigma * probe, tau))
+                    )
+                    minus = original.perturbed(
+                        clip_video_range(base, project_linf(perturbation - sigma * probe, tau))
+                    )
+                    value_plus = objective.value(plus)
+                    value_minus = objective.value(minus)
+                    trace.extend([value_plus, value_minus])
+                    counter("attack.search.nes.evaluations").inc(2)
+                    gradient += (value_plus - value_minus) * probe
+                gradient /= 2.0 * sigma * samples
 
-        perturbation = perturbation - lr * np.sign(gradient) * mask
-        perturbation = clip_video_range(base, project_linf(perturbation, tau))
-        current = original.perturbed(perturbation)
-        value = objective.value(current)
-        trace.append(value)
-        if value < best:
-            best = value
-            best_perturbation = perturbation.copy()
+                perturbation = perturbation - lr * np.sign(gradient) * mask
+                perturbation = clip_video_range(base,
+                                                project_linf(perturbation, tau))
+                current = original.perturbed(perturbation)
+                value = objective.value(current)
+                trace.append(value)
+                counter("attack.search.nes.evaluations").inc()
+                if value < best:
+                    counter("attack.search.nes.improved").inc()
+                    best = value
+                    best_perturbation = perturbation.copy()
+        gauge("attack.search.nes.objective").set(best)
 
     return (original.perturbed(best_perturbation), best_perturbation, trace)

@@ -19,6 +19,7 @@ from scipy import ndimage
 from repro.attacks.base import Attack, AttackResult, clip_video_range, project_linf
 from repro.models.feature_extractor import FeatureExtractor
 from repro.nn import Tensor
+from repro.obs import counter, gauge, span
 from repro.video.types import Video
 
 
@@ -57,23 +58,29 @@ class TIMIAttack(Attack):
 
     def run(self, original: Video, target: Video) -> AttackResult:
         """Craft a dense transfer AE for ``(v, v_t)`` (no queries)."""
+        counter("attack.runs", attack=self.name).inc()
         self.surrogate.eval()
         target_feature = self.surrogate.embed_videos(target)[0]
         step = self.tau / self.iterations * 2.0
         perturbation = np.zeros_like(original.pixels)
         velocity = np.zeros_like(perturbation)
+        l1 = 0.0
 
-        for _ in range(self.iterations):
-            gradient = self._gradient(original, perturbation, target_feature)
-            gradient = self._smooth(gradient)
-            l1 = np.abs(gradient).sum()
-            if l1 > 0:
-                gradient = gradient / l1
-            velocity = self.momentum * velocity + gradient
-            perturbation = perturbation - step * np.sign(velocity)
-            perturbation = clip_video_range(
-                original.pixels, project_linf(perturbation, self.tau)
-            )
+        with span("attack.timi", iterations=self.iterations):
+            for _ in range(self.iterations):
+                with span("attack.timi.iter"):
+                    gradient = self._gradient(original, perturbation,
+                                              target_feature)
+                    gradient = self._smooth(gradient)
+                    l1 = np.abs(gradient).sum()
+                    if l1 > 0:
+                        gradient = gradient / l1
+                    velocity = self.momentum * velocity + gradient
+                    perturbation = perturbation - step * np.sign(velocity)
+                    perturbation = clip_video_range(
+                        original.pixels, project_linf(perturbation, self.tau)
+                    )
+            gauge("attack.timi.grad_l1").set(l1)
 
         adversarial = original.perturbed(perturbation)
         return AttackResult(

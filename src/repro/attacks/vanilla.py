@@ -11,6 +11,7 @@ import numpy as np
 from repro.attacks.base import Attack, AttackResult
 from repro.attacks.objective import RetrievalObjective
 from repro.attacks.search import simba_search
+from repro.obs import counter, span
 from repro.retrieval.service import RetrievalService
 from repro.utils.seeding import seeded_rng
 from repro.video.types import Video
@@ -57,14 +58,16 @@ class VanillaAttack(Attack):
 
     def run(self, original: Video, target: Video) -> AttackResult:
         """Random-support SimBA attack on the pair ``(v, v_t)``."""
-        objective = RetrievalObjective(self.service, original, target,
-                                       eta=self.eta)
-        support = random_support(original.pixels.shape, self.k, self.n,
-                                 rng=self.rng)
-        adversarial, perturbation, trace = simba_search(
-            original, objective, support, tau=self.tau,
-            iterations=self.iterations, rng=self.rng,
-        )
+        counter("attack.runs", attack=self.name).inc()
+        with span("attack.vanilla", k=self.k, n=self.n):
+            objective = RetrievalObjective(self.service, original, target,
+                                           eta=self.eta)
+            support = random_support(original.pixels.shape, self.k, self.n,
+                                     rng=self.rng)
+            adversarial, perturbation, trace = simba_search(
+                original, objective, support, tau=self.tau,
+                iterations=self.iterations, rng=self.rng,
+            )
         return AttackResult(
             adversarial=adversarial,
             perturbation=perturbation,

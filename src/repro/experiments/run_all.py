@@ -7,7 +7,10 @@ Usage::
     python -m repro.experiments.run_all table2 fig5    # subset
     python -m repro.experiments.run_all --out results  # output directory
 
-Formatted tables are printed and written to ``<out>/<name>.txt``.
+Formatted tables are printed and written to ``<out>/<name>.txt``.  Each
+run also emits an observability sidecar under ``<out>/obs/``: a metrics
+JSON (query counts, span aggregates) and a ``chrome://tracing`` event
+file, both scoped to that one experiment (``--no-obs`` disables them).
 """
 
 from __future__ import annotations
@@ -18,6 +21,13 @@ import time
 from pathlib import Path
 
 from repro.experiments import DEFAULT_SCALE, QUICK_SCALE
+from repro.obs import (
+    get_registry,
+    get_tracer,
+    span,
+    write_chrome_trace,
+    write_metrics_json,
+)
 from repro.experiments import (
     fig3_victim_maps,
     fig4_surrogate_maps,
@@ -59,6 +69,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="use the smoke-test scale")
     parser.add_argument("--out", default="results",
                         help="output directory for formatted tables")
+    parser.add_argument("--no-obs", action="store_true",
+                        help="skip the per-experiment metrics/trace sidecars")
     args = parser.parse_args(argv)
 
     names = args.experiments or list(RUNNERS)
@@ -72,12 +84,26 @@ def main(argv: list[str] | None = None) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
 
     for name in names:
+        # Scope the sidecar to this one experiment: zero the counters and
+        # restart the trace before each runner.
+        get_registry().reset()
+        get_tracer().reset()
         start = time.perf_counter()
-        table = RUNNERS[name](scale)
+        with span(f"experiment.{name}", quick=args.quick):
+            table = RUNNERS[name](scale)
         elapsed = time.perf_counter() - start
         text = table.format()
         print(f"\n{text}\n[{name} finished in {elapsed:.1f}s]")
         (out_dir / f"{name}.txt").write_text(text + "\n")
+        if not args.no_obs:
+            obs_out = out_dir / "obs"
+            metrics_path = write_metrics_json(
+                obs_out / f"{name}.metrics.json",
+                extra={"experiment": name, "quick": args.quick,
+                       "elapsed_s": elapsed},
+            )
+            trace_path = write_chrome_trace(obs_out / f"{name}.trace.json")
+            print(f"[obs] {metrics_path} {trace_path}")
     return 0
 
 

@@ -7,7 +7,8 @@ serialization, and track a ``training`` flag used by BatchNorm and Dropout.
 
 from __future__ import annotations
 
-from typing import Iterator
+import time
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -15,6 +16,22 @@ from repro.nn import functional as F
 from repro.nn import init
 from repro.nn.tensor import Tensor, concatenate, stack
 from repro.utils.seeding import seeded_rng
+
+# Forward-dispatch profiling hook (installed by repro.obs.profiler).
+# ``_CALL_HOOK(module_type, seconds)`` fires after every Module.__call__;
+# container modules (Sequential, backbones) include their children's time.
+_CALL_HOOK: Callable[[str, float], None] | None = None
+
+
+def set_call_hook(hook: Callable[[str, float], None] | None) -> None:
+    """Install (or clear, with None) the module-forward profiling hook."""
+    global _CALL_HOOK
+    _CALL_HOOK = hook
+
+
+def get_call_hook() -> Callable[[str, float], None] | None:
+    """Return the currently-installed forward hook."""
+    return _CALL_HOOK
 
 
 class Parameter(Tensor):
@@ -154,7 +171,12 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
-        return self.forward(*args, **kwargs)
+        if _CALL_HOOK is None:
+            return self.forward(*args, **kwargs)
+        start = time.perf_counter()
+        out = self.forward(*args, **kwargs)
+        _CALL_HOOK(type(self).__name__, time.perf_counter() - start)
+        return out
 
 
 class Sequential(Module):

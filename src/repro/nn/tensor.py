@@ -15,11 +15,37 @@ are covered by gradient-check tests in ``tests/nn``.
 from __future__ import annotations
 
 import contextlib
+import time
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 _GRAD_ENABLED = True
+
+# Profiling hook points (installed by repro.obs.profiler.OpProfiler).
+# ``_MAKE_HOOK(op, data)`` fires on every op-result tensor construction;
+# ``_BACKWARD_HOOK(op, seconds)`` fires after each node's backward closure.
+# Both default to None so the uninstrumented hot path pays one global read.
+_MAKE_HOOK: Callable[[str, np.ndarray], None] | None = None
+_BACKWARD_HOOK: Callable[[str, float], None] | None = None
+
+
+def set_autograd_hooks(
+    make_hook: Callable[[str, np.ndarray], None] | None = None,
+    backward_hook: Callable[[str, float], None] | None = None,
+) -> None:
+    """Install (or clear, with None) the op-level profiling hooks."""
+    global _MAKE_HOOK, _BACKWARD_HOOK
+    _MAKE_HOOK = make_hook
+    _BACKWARD_HOOK = backward_hook
+
+
+def get_autograd_hooks() -> tuple[
+    Callable[[str, np.ndarray], None] | None,
+    Callable[[str, float], None] | None,
+]:
+    """Return the currently-installed ``(make_hook, backward_hook)``."""
+    return _MAKE_HOOK, _BACKWARD_HOOK
 
 
 @contextlib.contextmanager
@@ -147,6 +173,8 @@ class Tensor:
             out._backward = backward
             out._parents = tuple(parents)
             out.op = op
+        if _MAKE_HOOK is not None:
+            _MAKE_HOOK(op, out.data)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -520,7 +548,12 @@ class Tensor:
 # Backward dispatch: ops store a closure returning parent grads
 # ---------------------------------------------------------------------- #
 def _dispatch_backward(node: Tensor, grad: np.ndarray, grads: dict[int, np.ndarray]) -> None:
-    parent_grads = node._backward(grad)  # type: ignore[misc]
+    if _BACKWARD_HOOK is None:
+        parent_grads = node._backward(grad)  # type: ignore[misc]
+    else:
+        start = time.perf_counter()
+        parent_grads = node._backward(grad)  # type: ignore[misc]
+        _BACKWARD_HOOK(node.op, time.perf_counter() - start)
     for parent, pgrad in zip(node._parents, parent_grads):
         if pgrad is None or not parent.requires_grad:
             continue

@@ -1,0 +1,66 @@
+"""Observability: metrics, tracing, and autograd profiling.
+
+The subsystem has four parts, wired through the retrieval/attack/training
+stack (see DESIGN.md §8 "Observability"):
+
+* :mod:`repro.obs.metrics` — process-local counters/gauges/histograms
+  with labels (query accounting, node health, objective levels);
+* :mod:`repro.obs.tracing` — nestable wall-clock spans with a no-op fast
+  path when ``REPRO_TRACE=0``;
+* :mod:`repro.obs.profiler` — per-op-type autograd forward/backward
+  profiler hooking the ``repro.nn`` dispatch points;
+* :mod:`repro.obs.export` — flat JSON reports and Chrome-trace files
+  under ``results/obs/``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+)
+from repro.obs.tracing import (
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    traced,
+    tracing_enabled,
+    use_env_tracing,
+)
+from repro.obs.profiler import OpProfiler
+from repro.obs.export import (
+    metrics_report,
+    obs_dir,
+    write_chrome_trace,
+    write_metrics_json,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OpProfiler",
+    "Tracer",
+    "counter",
+    "disable_tracing",
+    "enable_tracing",
+    "gauge",
+    "get_registry",
+    "get_tracer",
+    "histogram",
+    "metrics_report",
+    "obs_dir",
+    "span",
+    "traced",
+    "tracing_enabled",
+    "use_env_tracing",
+    "write_chrome_trace",
+    "write_metrics_json",
+]

@@ -1,0 +1,156 @@
+"""Op-level autograd profiler for the ``repro.nn`` engine.
+
+:class:`OpProfiler` hooks the three dispatch points of the nn stack:
+
+* **op construction** (``Tensor._make``) — counts every autograd op and
+  the bytes/elements of its output tensor (the forward fan-out);
+* **backward dispatch** (``_dispatch_backward``) — wall time of each
+  op's backward closure, aggregated per op type (the autograd hot path);
+* **module forward** (``Module.__call__``) — wall time per module class
+  (``Conv3d``, ``BatchNorm3d``, …).  Container modules include their
+  children's time, so read this column hierarchically.
+
+The hooks are plain module-level callables checked against ``None`` on
+the hot path, so an un-profiled run pays one global read per op.  The
+profiler nests: entering saves whatever hooks were installed and chains
+to them, so an outer profiler keeps aggregating through an inner one.
+
+Usage::
+
+    from repro.obs import OpProfiler
+
+    with OpProfiler() as prof:
+        loss = model(batch).sum()
+        loss.backward()
+    print(prof.table())
+"""
+
+from __future__ import annotations
+
+
+def _nn():
+    # Imported lazily: repro.obs is a leaf dependency of the whole stack
+    # (even repro.utils.timing pulls in repro.obs.tracing), so importing
+    # repro.nn at module level would create an import cycle.
+    from repro.nn import modules, tensor
+
+    return modules, tensor
+
+
+class OpProfiler:
+    """Aggregate per-op-type forward counts/sizes and backward times."""
+
+    def __init__(self, profile_modules: bool = True) -> None:
+        self.profile_modules = bool(profile_modules)
+        self._saved_autograd = (None, None)
+        self._saved_call = None
+        self.reset()
+
+    def reset(self) -> None:
+        """Drop all aggregated statistics."""
+        #: op → {count, output_bytes, output_elems}
+        self.ops: dict[str, dict[str, int]] = {}
+        #: op → {count, total_s}
+        self.backward: dict[str, dict[str, float]] = {}
+        #: module class name → {count, total_s}
+        self.modules: dict[str, dict[str, float]] = {}
+
+    # -------------------------------------------------------------- #
+    # Hook bodies
+    # -------------------------------------------------------------- #
+    def _on_make(self, op: str, data) -> None:
+        entry = self.ops.get(op)
+        if entry is None:
+            entry = self.ops[op] = {
+                "count": 0, "output_bytes": 0, "output_elems": 0}
+        entry["count"] += 1
+        entry["output_bytes"] += data.nbytes
+        entry["output_elems"] += data.size
+        chained = self._saved_autograd[0]
+        if chained is not None:
+            chained(op, data)
+
+    def _on_backward(self, op: str, seconds: float) -> None:
+        entry = self.backward.get(op)
+        if entry is None:
+            entry = self.backward[op] = {"count": 0, "total_s": 0.0}
+        entry["count"] += 1
+        entry["total_s"] += seconds
+        chained = self._saved_autograd[1]
+        if chained is not None:
+            chained(op, seconds)
+
+    def _on_module(self, module_type: str, seconds: float) -> None:
+        entry = self.modules.get(module_type)
+        if entry is None:
+            entry = self.modules[module_type] = {"count": 0, "total_s": 0.0}
+        entry["count"] += 1
+        entry["total_s"] += seconds
+        if self._saved_call is not None:
+            self._saved_call(module_type, seconds)
+
+    # -------------------------------------------------------------- #
+    # Context manager protocol
+    # -------------------------------------------------------------- #
+    def __enter__(self) -> "OpProfiler":
+        modules, tensor = _nn()
+        self._saved_autograd = tensor.get_autograd_hooks()
+        tensor.set_autograd_hooks(self._on_make, self._on_backward)
+        if self.profile_modules:
+            self._saved_call = modules.get_call_hook()
+            modules.set_call_hook(self._on_module)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        modules, tensor = _nn()
+        tensor.set_autograd_hooks(*self._saved_autograd)
+        self._saved_autograd = (None, None)
+        if self.profile_modules:
+            modules.set_call_hook(self._saved_call)
+            self._saved_call = None
+
+    # -------------------------------------------------------------- #
+    # Reporting
+    # -------------------------------------------------------------- #
+    def summary(self) -> dict:
+        """Return a JSON-able ``{ops, backward, modules}`` report."""
+        return {
+            "ops": {op: dict(stats) for op, stats in sorted(self.ops.items())},
+            "backward": {
+                op: {**stats,
+                     "mean_s": stats["total_s"] / stats["count"]}
+                for op, stats in sorted(self.backward.items(),
+                                        key=lambda kv: -kv[1]["total_s"])
+            },
+            "modules": {
+                cls: {**stats,
+                      "mean_s": stats["total_s"] / stats["count"]}
+                for cls, stats in sorted(self.modules.items(),
+                                         key=lambda kv: -kv[1]["total_s"])
+            },
+        }
+
+    def table(self, limit: int = 20) -> str:
+        """Format the top-``limit`` ops by backward time as a text table."""
+        lines = [f"{'op':<14}{'fwd count':>10}{'out MiB':>10}"
+                 f"{'bwd count':>10}{'bwd ms':>10}"]
+        ranked = sorted(
+            self.ops,
+            key=lambda op: -self.backward.get(op, {}).get("total_s", 0.0),
+        )
+        for op in ranked[:limit]:
+            fwd = self.ops[op]
+            bwd = self.backward.get(op, {"count": 0, "total_s": 0.0})
+            lines.append(
+                f"{op:<14}{fwd['count']:>10}"
+                f"{fwd['output_bytes'] / 2**20:>10.2f}"
+                f"{bwd['count']:>10}{bwd['total_s'] * 1e3:>10.2f}"
+            )
+        if self.modules:
+            lines.append("")
+            lines.append(f"{'module':<20}{'calls':>10}{'fwd ms':>10}")
+            for cls, stats in sorted(self.modules.items(),
+                                     key=lambda kv: -kv[1]["total_s"])[:limit]:
+                lines.append(f"{cls:<20}{stats['count']:>10}"
+                             f"{stats['total_s'] * 1e3:>10.2f}")
+        return "\n".join(lines)

@@ -1,0 +1,250 @@
+"""Nestable wall-clock spans with a no-op fast path.
+
+A *span* measures one region of work.  Spans nest: entering a span while
+another is open records the new one as a child, so a DUO run yields a
+tree like ``attack.duo → attack.duo.transfer → transfer.theta_step``.
+The tracer keeps three views of the same data:
+
+* a **tree** of span records (parent/child structure, for Chrome traces),
+* an **aggregate** table ``name → {count, total_s, mean_s}`` (for the
+  flat JSON report), and
+* a bounded record count so pathological loops cannot exhaust memory
+  (over-budget spans still aggregate, only the tree entry is dropped).
+
+Tracing is ON by default and disabled with ``REPRO_TRACE=0``; the
+environment variable is re-read on every span entry (cheap — one dict
+lookup) so tests and benchmarks can flip it at runtime.  When disabled,
+:func:`span` returns a shared no-op context manager: the fast path is a
+single function call + env check, measured by
+``benchmarks/bench_obs_overhead.py``.
+
+Usage::
+
+    from repro.obs import span, traced
+
+    with span("gallery.search", k=10):
+        ...
+
+    @traced("attack.duo.transfer")
+    def run(...):
+        ...
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+
+TRACE_ENV = "REPRO_TRACE"
+
+#: Tri-state programmatic override: None → follow the environment.
+_OVERRIDE: bool | None = None
+
+#: Cap on stored span records (tree nodes); aggregates are unbounded.
+MAX_RECORDS = 200_000
+
+
+def tracing_enabled() -> bool:
+    """Return whether spans currently record (env re-read each call)."""
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    return os.environ.get(TRACE_ENV, "1") != "0"
+
+
+def enable_tracing() -> None:
+    """Force tracing on, ignoring ``REPRO_TRACE``."""
+    global _OVERRIDE
+    _OVERRIDE = True
+
+
+def disable_tracing() -> None:
+    """Force tracing off, ignoring ``REPRO_TRACE``."""
+    global _OVERRIDE
+    _OVERRIDE = False
+
+
+def use_env_tracing() -> None:
+    """Drop any programmatic override; follow ``REPRO_TRACE`` again."""
+    global _OVERRIDE
+    _OVERRIDE = None
+
+
+class Tracer:
+    """Span collector: record tree + per-name aggregates.
+
+    The span stack is process-local (the repo's hot paths are
+    single-threaded); concurrent tracers can be instantiated explicitly
+    if a future PR parallelizes attack loops.
+    """
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Drop all recorded spans and restart the trace clock."""
+        self._stack: list[dict] = []
+        self.roots: list[dict] = []
+        self.aggregates: dict[str, list[float]] = {}
+        self.num_records = 0
+        self.dropped_records = 0
+        self._epoch = time.perf_counter()
+
+    # -------------------------------------------------------------- #
+    # Recording (driven by _SpanContext)
+    # -------------------------------------------------------------- #
+    def _open(self, name: str, attrs: dict) -> dict:
+        record = {
+            "name": name,
+            "ts_us": (time.perf_counter() - self._epoch) * 1e6,
+            "dur_us": 0.0,
+            "args": attrs,
+            "children": [],
+        }
+        self._stack.append(record)
+        return record
+
+    def _close(self, record: dict, duration: float) -> None:
+        record["dur_us"] = duration * 1e6
+        # Tolerate interleaved/forgotten exits: pop back to this record.
+        while self._stack and self._stack[-1] is not record:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+
+        entry = self.aggregates.setdefault(record["name"], [0, 0.0])
+        entry[0] += 1
+        entry[1] += duration
+
+        if self.num_records >= MAX_RECORDS:
+            self.dropped_records += 1
+            return
+        self.num_records += 1
+        if self._stack:
+            self._stack[-1]["children"].append(record)
+        else:
+            self.roots.append(record)
+
+    # -------------------------------------------------------------- #
+    # Views
+    # -------------------------------------------------------------- #
+    @property
+    def depth(self) -> int:
+        """Number of currently-open spans."""
+        return len(self._stack)
+
+    def current_span_name(self) -> str | None:
+        """Name of the innermost open span (None outside any span)."""
+        return self._stack[-1]["name"] if self._stack else None
+
+    def aggregate(self) -> dict[str, dict[str, float]]:
+        """Return ``name → {count, total_s, mean_s}`` sorted by total."""
+        table = {}
+        for name, (count, total) in sorted(
+                self.aggregates.items(), key=lambda kv: -kv[1][1]):
+            table[name] = {
+                "count": count,
+                "total_s": total,
+                "mean_s": total / count if count else 0.0,
+            }
+        return table
+
+    def events(self) -> list[dict]:
+        """Flatten the record tree to Chrome-trace "complete" events."""
+        flat: list[dict] = []
+        stack = list(self.roots)
+        while stack:
+            record = stack.pop()
+            flat.append({
+                "name": record["name"],
+                "ph": "X",
+                "ts": record["ts_us"],
+                "dur": record["dur_us"],
+                "pid": os.getpid(),
+                "tid": 0,
+                "args": {k: str(v) for k, v in record["args"].items()},
+            })
+            stack.extend(record["children"])
+        flat.sort(key=lambda event: event["ts"])
+        return flat
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """Return the process-wide default tracer."""
+    return _TRACER
+
+
+class _SpanContext:
+    """Live span handle; exposes ``duration`` after exit."""
+
+    __slots__ = ("name", "attrs", "_start", "_record", "duration")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+        self._record: dict | None = None
+        self.duration = 0.0
+
+    def __enter__(self) -> "_SpanContext":
+        self._record = _TRACER._open(self.name, self.attrs)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.duration = time.perf_counter() - self._start
+        if self._record is not None:
+            _TRACER._close(self._record, self.duration)
+            self._record = None
+
+
+class _NoopSpan:
+    """Shared do-nothing span (tracing disabled)."""
+
+    __slots__ = ()
+    name = ""
+    duration = 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str, **attrs) -> _SpanContext | _NoopSpan:
+    """Open a span named ``name`` (context manager).
+
+    With tracing disabled this returns a shared no-op object — the
+    instrumented call sites pay only this function call.
+    """
+    if not tracing_enabled():
+        return _NOOP
+    return _SpanContext(name, attrs)
+
+
+def traced(name: str | None = None, **attrs):
+    """Decorator form of :func:`span`.
+
+    ``name`` defaults to ``module.qualname`` of the wrapped function; the
+    enabled check happens per *call*, so flipping ``REPRO_TRACE`` at
+    runtime affects already-decorated functions.
+    """
+
+    def decorate(func):
+        span_name = name or f"{func.__module__}.{func.__qualname__}"
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            with span(span_name, **attrs):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -12,13 +12,18 @@ keeps a ``networkx`` star topology for introspection.
 from __future__ import annotations
 
 import heapq
+import time
 
 import networkx as nx
 import numpy as np
 
+from repro.obs import counter, histogram, span
 from repro.retrieval.index import FeatureIndex
 from repro.retrieval.lists import RetrievalEntry
 from repro.retrieval.similarity import SimilarityFn, negative_l2
+
+#: Per-node search latencies are sub-millisecond at test scale.
+NODE_LATENCY_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0)
 
 
 class NodeDownError(RuntimeError):
@@ -44,6 +49,7 @@ class DataNode:
     def search(self, query: np.ndarray, k: int) -> list[RetrievalEntry]:
         """Local top-k search; raises :class:`NodeDownError` when down."""
         if not self.alive:
+            counter("gallery.node_down_errors", node=self.node_id).inc()
             raise NodeDownError(f"node {self.node_id} is down")
         self.search_count += 1
         return self.index.search(query, k)
@@ -102,13 +108,24 @@ class ShardedGallery:
 
     def search(self, query: np.ndarray, k: int) -> list[RetrievalEntry]:
         """Scatter/gather top-k across live nodes, best first."""
-        partials: list[list[RetrievalEntry]] = []
-        for node in self.nodes:
-            if not node.alive:
-                continue
-            partials.append(node.search(query, k))
-        merged = heapq.merge(*partials, key=lambda entry: -entry.score)
-        return list(merged)[: int(k)]
+        with span("gallery.search", k=int(k)):
+            partials: list[list[RetrievalEntry]] = []
+            for node in self.nodes:
+                if not node.alive:
+                    counter("gallery.node_skipped", node=node.node_id).inc()
+                    continue
+                start = time.perf_counter()
+                partials.append(node.search(query, k))
+                histogram("gallery.node_latency_s",
+                          buckets=NODE_LATENCY_BUCKETS,
+                          node=node.node_id).observe(
+                              time.perf_counter() - start)
+            merged = heapq.merge(*partials, key=lambda entry: -entry.score)
+            top = list(merged)[: int(k)]
+            counter("gallery.searches").inc()
+            if len(partials) < len(self.nodes):
+                counter("gallery.degraded_searches").inc()
+            return top
 
     def labels_of(self) -> list[int]:
         """All labels across every shard (including downed ones)."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.obs import counter, gauge, span
 from repro.retrieval.engine import RetrievalEngine
 from repro.retrieval.lists import RetrievalList
 from repro.video.types import Video
@@ -56,15 +57,24 @@ class RetrievalService:
         this models server-side throttling of suspicious accounts.
         """
         if self.query_budget is not None and self.query_count >= self.query_budget:
+            counter("retrieval.budget_exceeded").inc()
             raise QueryBudgetExceeded(
                 f"query budget of {self.query_budget} exhausted"
             )
         self.query_count += 1
-        if self.quantize_queries:
-            from repro.video.transforms import dequantize_uint8, quantize_uint8
+        counter("retrieval.queries").inc()
+        if self.query_budget is not None:
+            gauge("retrieval.budget_remaining").set(
+                self.query_budget - self.query_count)
+        with span("retrieval.query"):
+            if self.quantize_queries:
+                from repro.video.transforms import dequantize_uint8, quantize_uint8
 
-            video = dequantize_uint8(quantize_uint8(video), video.label,
-                                     video.video_id)
-        if self.preprocessor is not None:
-            video = self.preprocessor(video)
-        return self.engine.retrieve(video, self.m if m is None else int(m))
+                video = dequantize_uint8(quantize_uint8(video), video.label,
+                                         video.video_id)
+                counter("retrieval.quantized_queries").inc()
+            if self.preprocessor is not None:
+                with span("retrieval.defense.preprocess"):
+                    video = self.preprocessor(video)
+                counter("retrieval.defense.preprocessed").inc()
+            return self.engine.retrieve(video, self.m if m is None else int(m))

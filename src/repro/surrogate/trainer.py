@@ -18,6 +18,7 @@ from repro.losses.triplet import RankedListTripletLoss
 from repro.models.feature_extractor import FeatureExtractor
 from repro.models.registry import create_feature_extractor
 from repro.nn import Adam, Tensor
+from repro.obs import counter, gauge, span
 from repro.surrogate.stealing import StolenRankingDataset
 from repro.utils.logging import get_logger
 from repro.utils.seeding import seeded_rng
@@ -47,21 +48,26 @@ class SurrogateTrainer:
         for epoch in range(self.epochs):
             epoch_losses = []
             order = rng.permutation(len(dataset.rows))
-            for row_index in order:
-                row = dataset.rows[int(row_index)]
-                if len(row.returned) < 2:
-                    continue
-                batch = [row.query] + row.returned
-                inputs = Tensor(to_model_input(batch))
-                optimizer.zero_grad()
-                embeddings = surrogate(inputs)
-                loss = loss_fn(embeddings[0], embeddings[1:])
-                if not loss.requires_grad:
-                    continue
-                loss.backward()
-                optimizer.step()
-                epoch_losses.append(loss.item())
+            with span("surrogate.epoch", epoch=epoch + 1):
+                for row_index in order:
+                    row = dataset.rows[int(row_index)]
+                    if len(row.returned) < 2:
+                        continue
+                    with span("surrogate.step"):
+                        batch = [row.query] + row.returned
+                        inputs = Tensor(to_model_input(batch))
+                        optimizer.zero_grad()
+                        embeddings = surrogate(inputs)
+                        loss = loss_fn(embeddings[0], embeddings[1:])
+                        if not loss.requires_grad:
+                            continue
+                        loss.backward()
+                        optimizer.step()
+                        epoch_losses.append(loss.item())
+                    counter("surrogate.steps").inc()
+            counter("surrogate.epochs").inc()
             mean_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+            gauge("surrogate.epoch_loss").set(mean_loss)
             self.history.append(mean_loss)
             logger.info("surrogate epoch %d/%d loss=%.4f",
                         epoch + 1, self.epochs, mean_loss)

@@ -14,6 +14,7 @@ import numpy as np
 from repro.models.feature_extractor import FeatureExtractor
 from repro.nn import Adam, Tensor
 from repro.nn.modules import Module
+from repro.obs import counter, gauge, span
 from repro.utils.logging import get_logger
 from repro.utils.seeding import seeded_rng
 from repro.video.types import Video, to_model_input
@@ -91,18 +92,23 @@ class MetricTrainer:
         extractor.train()
         for epoch in range(self.epochs):
             epoch_losses = []
-            for batch in self._batches(videos):
-                labels = np.asarray([video.label for video in batch])
-                inputs = Tensor(to_model_input(batch))
-                optimizer.zero_grad()
-                embeddings = extractor(inputs)
-                loss_value = self.loss(embeddings, labels)
-                if not loss_value.requires_grad:
-                    continue  # degenerate batch (no positives/negatives)
-                loss_value.backward()
-                optimizer.step()
-                epoch_losses.append(loss_value.item())
+            with span("training.epoch", epoch=epoch + 1):
+                for batch in self._batches(videos):
+                    with span("training.batch"):
+                        labels = np.asarray([video.label for video in batch])
+                        inputs = Tensor(to_model_input(batch))
+                        optimizer.zero_grad()
+                        embeddings = extractor(inputs)
+                        loss_value = self.loss(embeddings, labels)
+                        if not loss_value.requires_grad:
+                            continue  # degenerate batch (no positives/negatives)
+                        loss_value.backward()
+                        optimizer.step()
+                        epoch_losses.append(loss_value.item())
+                    counter("training.batches").inc()
+            counter("training.epochs").inc()
             mean_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+            gauge("training.epoch_loss").set(mean_loss)
             history.losses.append(mean_loss)
             logger.info("epoch %d/%d loss=%.4f", epoch + 1, self.epochs, mean_loss)
         extractor.eval()

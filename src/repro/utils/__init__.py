@@ -1,4 +1,8 @@
-"""Shared utilities: deterministic seeding, lightweight logging, timing."""
+"""Shared utilities: deterministic seeding and lightweight logging.
+
+``Timer`` is a deprecated shim kept for backward compatibility; use
+``repro.obs.tracing.span`` for all new timing needs.
+"""
 
 from repro.utils.seeding import SeedSequence, seeded_rng, set_global_seed
 from repro.utils.logging import get_logger

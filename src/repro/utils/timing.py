@@ -1,26 +1,54 @@
-"""Wall-clock timing helper used by experiment runners."""
+"""Deprecated wall-clock timing shim.
+
+:class:`Timer` predates the observability subsystem; new code should use
+:func:`repro.obs.tracing.span`, which records the same wall time *and*
+feeds the span aggregates / Chrome traces.  The shim is kept so old
+experiment scripts keep working — it delegates to a span named
+``utils.timer`` and mirrors the span's duration into ``.elapsed``.
+"""
 
 from __future__ import annotations
 
 import time
+import warnings
+
+from repro.obs.tracing import span
 
 
 class Timer:
-    """Context manager measuring elapsed wall-clock seconds.
+    """Deprecated: use ``repro.obs.tracing.span`` instead.
 
-    >>> with Timer() as t:
-    ...     _ = sum(range(1000))
+    Context manager measuring elapsed wall-clock seconds.
+
+    >>> import warnings
+    >>> with warnings.catch_warnings():
+    ...     warnings.simplefilter("ignore", DeprecationWarning)
+    ...     with Timer() as t:
+    ...         _ = sum(range(1000))
     >>> t.elapsed >= 0.0
     True
     """
 
     def __init__(self) -> None:
+        warnings.warn(
+            "repro.utils.timing.Timer is deprecated; "
+            "use repro.obs.tracing.span instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.start = 0.0
         self.elapsed = 0.0
+        self._span = None
 
     def __enter__(self) -> "Timer":
+        self._span = span("utils.timer").__enter__()
         self.start = time.perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> None:
+        # The span's own duration is 0.0 on the no-op path, so keep an
+        # independent clock — the shim must stay accurate either way.
         self.elapsed = time.perf_counter() - self.start
+        if self._span is not None:
+            self._span.__exit__(*exc)
+            self._span = None

@@ -24,3 +24,30 @@ def test_cli_runs_subset_quick(tmp_path, monkeypatch, capsys):
     assert (tmp_path / "out" / "fig3.txt").exists()
     output = capsys.readouterr().out
     assert "Figure 3" in output
+
+
+def test_cli_writes_obs_sidecars(tmp_path, monkeypatch):
+    import json
+
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+    out = tmp_path / "out"
+    exit_code = run_all.main(["fig3", "--quick", "--out", str(out)])
+    assert exit_code == 0
+    metrics_path = out / "obs" / "fig3.metrics.json"
+    trace_path = out / "obs" / "fig3.trace.json"
+    assert metrics_path.exists() and trace_path.exists()
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["extra"]["experiment"] == "fig3"
+    assert metrics["extra"]["elapsed_s"] > 0
+    assert metrics["metrics"]["counters"]  # attack/retrieval counters present
+    trace = json.loads(trace_path.read_text())
+    assert any(e["name"] == "experiment.fig3" for e in trace["traceEvents"])
+
+
+def test_cli_no_obs_flag_suppresses_sidecars(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+    out = tmp_path / "out"
+    exit_code = run_all.main(["fig3", "--quick", "--no-obs", "--out",
+                              str(out)])
+    assert exit_code == 0
+    assert not (out / "obs").exists()

@@ -1,0 +1,99 @@
+"""Tests for observability export writers (JSON report + Chrome trace)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    enable_tracing,
+    get_tracer,
+    metrics_report,
+    obs_dir,
+    span,
+    use_env_tracing,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("q").inc(3)
+    registry.gauge("g").set(2.0)
+    return registry
+
+
+@pytest.fixture
+def tracer():
+    tracer = Tracer()
+    record = tracer._open("root", {"k": 1})
+    child = tracer._open("child", {})
+    tracer._close(child, 0.01)
+    tracer._close(record, 0.05)
+    return tracer
+
+
+class TestMetricsReport:
+    def test_report_structure(self, registry, tracer):
+        report = metrics_report(registry=registry, tracer=tracer,
+                                extra={"experiment": "t2"})
+        assert report["metrics"]["counters"]["q"] == 3
+        assert report["spans"]["root"]["count"] == 1
+        assert report["extra"]["experiment"] == "t2"
+        assert report["dropped_span_records"] == 0
+
+    def test_write_json_by_path(self, tmp_path, registry, tracer):
+        path = write_metrics_json(tmp_path / "report.json",
+                                  registry=registry, tracer=tracer)
+        assert path == tmp_path / "report.json"
+        parsed = json.loads(path.read_text())
+        assert parsed["metrics"]["gauges"]["g"] == 2.0
+
+    def test_write_json_by_name_uses_obs_dir(self, tmp_path, monkeypatch,
+                                             registry, tracer):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path / "obs"))
+        path = write_metrics_json("smoke", registry=registry, tracer=tracer)
+        assert path == tmp_path / "obs" / "smoke.metrics.json"
+        assert path.exists()
+
+    def test_obs_dir_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS_DIR", raising=False)
+        assert str(obs_dir()).replace("\\", "/") == "results/obs"
+
+
+class TestChromeTrace:
+    def test_valid_trace_document(self, tmp_path, tracer):
+        path = write_chrome_trace(tmp_path / "trace.json", tracer=tracer)
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert [e["name"] for e in events] == ["root", "child"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+        # Child nested within parent on the timeline.
+        root, child = events
+        assert root["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= root["ts"] + root["dur"] + 1e-3
+
+    def test_args_stringified(self, tmp_path, tracer):
+        path = write_chrome_trace(tmp_path / "trace.json", tracer=tracer)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"][0]["args"] == {"k": "1"}
+
+    def test_default_tracer_used(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        enable_tracing()
+        get_tracer().reset()
+        try:
+            with span("default.tracer.span"):
+                pass
+            path = write_chrome_trace("default")
+        finally:
+            use_env_tracing()
+            get_tracer().reset()
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"][0]["name"] == "default.tracer.span"

@@ -1,0 +1,125 @@
+"""Tests for the repro.obs metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    counter,
+    get_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_increments(self, registry):
+        c = registry.counter("a.b")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("a").inc(-1)
+
+    def test_get_or_create_same_handle(self, registry):
+        assert registry.counter("x", node="n0") is registry.counter(
+            "x", node="n0")
+
+    def test_labels_distinguish(self, registry):
+        registry.counter("x", node="n0").inc()
+        registry.counter("x", node="n1").inc(4)
+        snap = registry.snapshot()["counters"]
+        assert snap["x{node=n0}"] == 1
+        assert snap["x{node=n1}"] == 4
+
+    def test_label_order_irrelevant(self, registry):
+        assert registry.counter("x", a=1, b=2) is registry.counter(
+            "x", b=2, a=1)
+
+
+class TestGauge:
+    def test_set_and_inc(self, registry):
+        g = registry.gauge("g")
+        g.set(10.0)
+        g.inc()
+        g.dec(3.0)
+        assert g.value == 8.0
+
+    def test_unset_snapshot_is_none(self, registry):
+        registry.gauge("never_set")
+        assert registry.snapshot()["gauges"]["never_set"] is None
+
+    def test_inc_from_unset(self, registry):
+        g = registry.gauge("g2")
+        g.inc(2.0)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_observe_stats(self, registry):
+        h = registry.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(5.55)
+        assert h.minimum == pytest.approx(0.05)
+        assert h.maximum == pytest.approx(5.0)
+        snap = h._snapshot()
+        assert snap["buckets"] == {"le_0.1": 1, "le_1": 1, "le_inf": 1}
+
+    def test_mean(self, registry):
+        h = registry.histogram("m", buckets=(1.0,))
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean == pytest.approx(3.0)
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_empty_buckets_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("bad", buckets=())
+
+
+class TestRegistryLifecycle:
+    def test_reset_zeroes_in_place(self, registry):
+        c = registry.counter("c")
+        h = registry.histogram("h")
+        c.inc(5)
+        h.observe(1.0)
+        registry.reset()
+        assert c.value == 0.0
+        assert h.count == 0
+        # Cached handle still wired to the registry after reset.
+        c.inc()
+        assert registry.snapshot()["counters"]["c"] == 1
+
+    def test_clear_drops_instruments(self, registry):
+        registry.counter("c").inc()
+        registry.clear()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_to_json_roundtrip(self, registry):
+        registry.counter("c", kind="x").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.01)
+        parsed = json.loads(registry.to_json())
+        assert parsed["counters"]["c{kind=x}"] == 2
+        assert parsed["gauges"]["g"] == 1.5
+        assert parsed["histograms"]["h"]["count"] == 1
+
+
+class TestDefaultRegistry:
+    def test_module_level_helpers_hit_default(self):
+        before = counter("tests.obs.module_helper").value
+        counter("tests.obs.module_helper").inc()
+        assert get_registry().counter("tests.obs.module_helper").value == \
+            before + 1

@@ -1,0 +1,89 @@
+"""Tests for the op-level autograd profiler."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import modules as nn_modules
+from repro.nn import tensor as nn_tensor
+from repro.nn.modules import Linear, Sequential
+from repro.obs import OpProfiler
+
+
+def _small_forward_backward():
+    lin = Sequential(Linear(6, 4, rng=0), Linear(4, 2, rng=1))
+    x = Tensor(np.ones((3, 6)), requires_grad=True)
+    loss = (lin(x) ** 2).sum()
+    loss.backward()
+
+
+class TestOpProfiler:
+    def test_ops_counted_with_sizes(self):
+        with OpProfiler() as prof:
+            _small_forward_backward()
+        assert "matmul" in prof.ops
+        assert "add" in prof.ops
+        assert prof.ops["matmul"]["count"] >= 2
+        assert prof.ops["matmul"]["output_bytes"] > 0
+        assert prof.ops["matmul"]["output_elems"] > 0
+
+    def test_backward_times_aggregated(self):
+        with OpProfiler() as prof:
+            _small_forward_backward()
+        assert "matmul" in prof.backward
+        assert prof.backward["matmul"]["count"] >= 2
+        assert prof.backward["matmul"]["total_s"] >= 0.0
+
+    def test_module_forward_times(self):
+        with OpProfiler() as prof:
+            _small_forward_backward()
+        assert prof.modules["Linear"]["count"] == 2
+        assert prof.modules["Sequential"]["count"] == 1
+        # Containers include their children's time.
+        assert prof.modules["Sequential"]["total_s"] >= \
+            prof.modules["Linear"]["total_s"] / 2
+
+    def test_hooks_removed_on_exit(self):
+        with OpProfiler():
+            pass
+        assert nn_tensor.get_autograd_hooks() == (None, None)
+        assert nn_modules.get_call_hook() is None
+        before = OpProfiler()
+        with before as prof:
+            pass
+        _small_forward_backward()
+        assert prof.ops == {}  # nothing recorded outside the context
+
+    def test_nested_profilers_chain(self):
+        with OpProfiler() as outer:
+            with OpProfiler() as inner:
+                _small_forward_backward()
+        assert outer.ops["matmul"]["count"] == inner.ops["matmul"]["count"]
+        assert nn_tensor.get_autograd_hooks() == (None, None)
+
+    def test_summary_and_table(self):
+        with OpProfiler() as prof:
+            _small_forward_backward()
+        summary = prof.summary()
+        assert set(summary) == {"ops", "backward", "modules"}
+        for stats in summary["backward"].values():
+            assert stats["mean_s"] == pytest.approx(
+                stats["total_s"] / stats["count"])
+        text = prof.table()
+        assert "matmul" in text
+        assert "Linear" in text
+
+    def test_profile_modules_optional(self):
+        with OpProfiler(profile_modules=False) as prof:
+            _small_forward_backward()
+        assert prof.modules == {}
+        assert prof.ops  # op stats still collected
+
+    def test_no_grad_forward_still_counted(self):
+        from repro.nn.tensor import no_grad
+
+        with OpProfiler() as prof:
+            with no_grad():
+                _ = Tensor(np.ones((2, 2))) + Tensor(np.ones((2, 2)))
+        assert prof.ops["add"]["count"] == 1
+        assert prof.backward == {}

@@ -1,0 +1,173 @@
+"""Tests for repro.obs tracing spans."""
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.tracing import (
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    traced,
+    tracing_enabled,
+    use_env_tracing,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """Force-enable tracing and isolate the default tracer per test."""
+    enable_tracing()
+    get_tracer().reset()
+    yield
+    use_env_tracing()
+    get_tracer().reset()
+
+
+class TestEnabledSwitch:
+    def test_env_disable(self, monkeypatch):
+        use_env_tracing()
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert not tracing_enabled()
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert tracing_enabled()
+
+    def test_default_is_on(self, monkeypatch):
+        use_env_tracing()
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert tracing_enabled()
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        enable_tracing()
+        assert tracing_enabled()
+        disable_tracing()
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert not tracing_enabled()
+
+    def test_disabled_span_is_noop_singleton(self):
+        disable_tracing()
+        s1 = span("a")
+        s2 = span("b")
+        assert s1 is s2
+        with s1:
+            pass
+        assert get_tracer().num_records == 0
+
+
+class TestSpans:
+    def test_records_duration(self):
+        with span("work") as s:
+            pass
+        assert s.duration >= 0.0
+        agg = get_tracer().aggregate()
+        assert agg["work"]["count"] == 1
+
+    def test_nesting_builds_tree(self):
+        with span("parent"):
+            with span("child"):
+                with span("grandchild"):
+                    pass
+            with span("child"):
+                pass
+        tracer = get_tracer()
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root["name"] == "parent"
+        assert [c["name"] for c in root["children"]] == ["child", "child"]
+        assert root["children"][0]["children"][0]["name"] == "grandchild"
+        assert tracer.aggregate()["child"]["count"] == 2
+
+    def test_attrs_recorded(self):
+        with span("q", k=10, node="n0"):
+            pass
+        assert get_tracer().roots[0]["args"] == {"k": 10, "node": "n0"}
+
+    def test_depth_and_current(self):
+        tracer = get_tracer()
+        assert tracer.depth == 0
+        with span("outer"):
+            assert tracer.depth == 1
+            assert tracer.current_span_name() == "outer"
+        assert tracer.current_span_name() is None
+
+    def test_record_cap_still_aggregates(self, monkeypatch):
+        monkeypatch.setattr(tracing, "MAX_RECORDS", 2)
+        for _ in range(5):
+            with span("looped"):
+                pass
+        tracer = get_tracer()
+        assert tracer.num_records == 2
+        assert tracer.dropped_records == 3
+        assert tracer.aggregate()["looped"]["count"] == 5
+
+    def test_exception_still_closes(self):
+        with pytest.raises(RuntimeError):
+            with span("fails"):
+                raise RuntimeError("boom")
+        tracer = get_tracer()
+        assert tracer.depth == 0
+        assert tracer.aggregate()["fails"]["count"] == 1
+
+
+class TestDecorator:
+    def test_traced_names_span(self):
+        @traced("my.func")
+        def f(x):
+            return x * 2
+
+        assert f(3) == 6
+        assert get_tracer().aggregate()["my.func"]["count"] == 1
+
+    def test_traced_default_name(self):
+        @traced()
+        def g():
+            return 1
+
+        g()
+        names = list(get_tracer().aggregates)
+        assert any("g" in name for name in names)
+
+    def test_traced_respects_runtime_disable(self):
+        @traced("toggled")
+        def h():
+            return 1
+
+        disable_tracing()
+        h()
+        assert "toggled" not in get_tracer().aggregates
+        enable_tracing()
+        h()
+        assert get_tracer().aggregate()["toggled"]["count"] == 1
+
+
+class TestEvents:
+    def test_chrome_events_flat_and_sorted(self):
+        with span("a"):
+            with span("b"):
+                pass
+        with span("c"):
+            pass
+        events = get_tracer().events()
+        assert [e["name"] for e in events] == ["a", "b", "c"]
+        assert all(e["ph"] == "X" for e in events)
+        assert all(e["dur"] >= 0 for e in events)
+
+    def test_reset_clears_everything(self):
+        with span("x"):
+            pass
+        tracer = get_tracer()
+        tracer.reset()
+        assert tracer.roots == []
+        assert tracer.aggregates == {}
+        assert tracer.events() == []
+
+
+class TestIsolatedTracer:
+    def test_instances_independent(self):
+        mine = Tracer()
+        record = mine._open("manual", {})
+        mine._close(record, 0.5)
+        assert mine.aggregate()["manual"]["total_s"] == pytest.approx(0.5)
+        assert "manual" not in get_tracer().aggregates

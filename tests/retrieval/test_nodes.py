@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.obs import counter, get_registry
 from repro.retrieval import (
     DataNode,
     FeatureIndex,
@@ -89,3 +90,60 @@ class TestFailureInjection:
     def test_search_counts(self, gallery, rng):
         gallery.search(rng.normal(size=5), k=3)
         assert all(node.search_count == 1 for node in gallery.nodes)
+
+
+class TestDegradedObservability:
+    """Degraded retrieval stays correct and shows up in the obs counters."""
+
+    def test_merge_still_correct_with_node_down(self, rng):
+        gallery = ShardedGallery(num_nodes=4)
+        flat_surviving = FeatureIndex()
+        features = rng.normal(size=(20, 6))
+        downed_shard = 2
+        for i, feature in enumerate(features):
+            gallery.add(f"v{i}", 0, feature)
+            if i % 4 != downed_shard:  # rows land round-robin on shard i%4
+                flat_surviving.add(f"v{i}", 0, feature)
+        gallery.nodes[downed_shard].take_down()
+        query = rng.normal(size=6)
+        merged = [e.video_id for e in gallery.search(query, k=7)]
+        reference = [e.video_id for e in flat_surviving.search(query, k=7)]
+        assert merged == reference
+
+    def test_node_skipped_counter_increments(self, gallery, rng):
+        downed = gallery.nodes[0]
+        before = counter("gallery.node_skipped", node=downed.node_id).value
+        downed.take_down()
+        gallery.search(rng.normal(size=5), k=3)
+        gallery.search(rng.normal(size=5), k=3)
+        after = counter("gallery.node_skipped", node=downed.node_id).value
+        assert after - before == 2
+
+    def test_degraded_searches_counter(self, gallery, rng):
+        searches_before = counter("gallery.searches").value
+        degraded_before = counter("gallery.degraded_searches").value
+        gallery.search(rng.normal(size=5), k=3)  # healthy
+        gallery.nodes[1].take_down()
+        gallery.search(rng.normal(size=5), k=3)  # degraded
+        assert counter("gallery.searches").value - searches_before == 2
+        assert counter("gallery.degraded_searches").value \
+            - degraded_before == 1
+
+    def test_direct_search_on_down_node_counted(self, rng):
+        node = DataNode("obs-test-node")
+        node.add("v", 0, rng.normal(size=3))
+        node.take_down()
+        key = "gallery.node_down_errors"
+        before = counter(key, node=node.node_id).value
+        with pytest.raises(NodeDownError):
+            node.search(rng.normal(size=3), 1)
+        assert counter(key, node=node.node_id).value - before == 1
+
+    def test_node_latency_histogram_observed(self, gallery, rng):
+        registry = get_registry()
+        node_id = gallery.nodes[0].node_id
+        hist = registry.histogram("gallery.node_latency_s", node=node_id)
+        before = hist.count
+        gallery.search(rng.normal(size=5), k=3)
+        assert hist.count == before + 1
+        assert hist.maximum >= 0.0
