@@ -1,0 +1,313 @@
+"""Benchmark the ``repro.perf`` hot paths against the seed implementations.
+
+Three hot paths, measured at the model shapes the repro actually runs:
+
+1. **conv forward** — strided-einsum (seed) vs im2col GEMM, interleaved
+   min-of-trials per shape (interleaving cancels cache/turbo drift).
+2. **query-attack loop** — a SimBA rectification loop against a live
+   victim service, "before" (einsum convs + sequential ±ε evaluation)
+   vs "after" (GEMM convs + speculative pair batching).
+3. **retrieval internals** — batched vs scalar gallery search, and the
+   embedding-cache hit vs a full model forward.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_hotpath.py           # full
+    PYTHONPATH=src python benchmarks/bench_perf_hotpath.py --smoke   # CI
+
+The full run records ``BENCH_perf.json`` at the repo root — the baseline
+later PRs are held to.  ``--smoke`` is the CI gate: it asserts the GEMM
+path is auto-selected at model shapes, re-measures quickly, and fails if
+a speedup ratio regressed more than 10% against the recorded baseline
+(ratios, not wall times, so the check is machine-independent).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.attacks.objective import RetrievalObjective  # noqa: E402
+from repro.attacks.search import simba_search  # noqa: E402
+from repro.models import create_feature_extractor  # noqa: E402
+from repro.nn import Tensor, no_grad  # noqa: E402
+from repro.nn import functional as F  # noqa: E402
+from repro.perf import set_conv_impl, should_use_gemm  # noqa: E402
+from repro.retrieval import (  # noqa: E402
+    FeatureIndex,
+    RetrievalEngine,
+    RetrievalService,
+)
+from repro.video import load_dataset  # noqa: E402
+
+#: Conv problems taken from the victim/surrogate models at bench scale:
+#: the C3D stem and mid blocks (query embedding), and the stem at the
+#: speculative ±ε pair batch — the exact shape the attack hot loop runs.
+CONV_CASES = [
+    ("conv3d.stem.b1", F.conv3d, (1, 3, 6, 12, 12), (2, 3, 3, 3, 3), 1, 1),
+    ("conv3d.mid.b1", F.conv3d, (1, 2, 6, 6, 6), (4, 2, 3, 3, 3), 1, 1),
+    ("conv3d.stem.b2", F.conv3d, (2, 3, 6, 12, 12), (2, 3, 3, 3, 3), 1, 1),
+    ("conv2d.stem.b4", F.conv2d, (4, 3, 16, 16), (8, 3, 3, 3), 1, 1),
+]
+
+
+def _time_once(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def interleaved_best(fn_a, fn_b, trials: int) -> tuple[float, float]:
+    """Min-of-``trials`` for two thunks, alternating a/b every trial."""
+    fn_a(), fn_b()  # joint warm-up (plans, einsum paths, BLAS init)
+    best_a = best_b = float("inf")
+    for _ in range(trials):
+        best_a = min(best_a, _time_once(fn_a))
+        best_b = min(best_b, _time_once(fn_b))
+    return best_a, best_b
+
+
+def bench_conv(trials: int) -> list[dict]:
+    rng = np.random.default_rng(0)
+    rows = []
+    for name, conv, x_shape, w_shape, stride, padding in CONV_CASES:
+        x = Tensor(rng.normal(size=x_shape))
+        w = Tensor(rng.normal(size=w_shape))
+
+        def run(conv=conv, x=x, w=w, stride=stride, padding=padding):
+            with no_grad():
+                conv(x, w, stride=stride, padding=padding)
+
+        def timed_einsum():
+            set_conv_impl("einsum")
+            run()
+
+        def timed_gemm():
+            set_conv_impl("gemm")
+            run()
+
+        einsum_s, gemm_s = interleaved_best(timed_einsum, timed_gemm, trials)
+        set_conv_impl(None)
+        rows.append({
+            "name": name,
+            "einsum_us": einsum_s * 1e6,
+            "gemm_us": gemm_s * 1e6,
+            "speedup": einsum_s / gemm_s,
+        })
+    return rows
+
+
+def build_attack_fixture(seed: int = 0):
+    """A tiny victim service + attack pair (untrained model — speed only)."""
+    dataset = load_dataset(
+        "ucf101", num_classes=4, train_videos=16, test_videos=4,
+        height=12, width=12, num_frames=6, seed=seed,
+    )
+    extractor = create_feature_extractor(
+        "c3d", feature_dim=16, width=2, rng=seed)
+    extractor.eval()
+    extractor.requires_grad_(False)
+    return extractor, dataset
+
+
+def attack_loop_seconds(extractor, dataset, iterations: int, repeats: int,
+                        conv_impl: str, batched: bool,
+                        cache_size: int) -> float:
+    """Best-of-``repeats`` wall time of a seeded SimBA rectification loop."""
+    set_conv_impl(conv_impl)
+    try:
+        best = float("inf")
+        original, target = dataset.test[0], dataset.test[1]
+        support = np.zeros(original.pixels.shape, dtype=bool)
+        support[:2] = True
+        for repeat in range(repeats):
+            engine = RetrievalEngine(extractor, num_nodes=3,
+                                     cache_size=cache_size)
+            engine.index_videos(dataset.train)
+            service = RetrievalService(engine, m=8)
+            objective = RetrievalObjective(service, original, target)
+            start = time.perf_counter()
+            simba_search(original, objective, support, tau=0.1,
+                         iterations=iterations,
+                         rng=np.random.default_rng(repeat), batched=batched)
+            best = min(best, time.perf_counter() - start)
+        return best
+    finally:
+        set_conv_impl(None)
+
+
+def bench_batched_search(trials: int) -> dict:
+    rng = np.random.default_rng(1)
+    index = FeatureIndex()
+    index.add_batch([f"v{i}" for i in range(2000)],
+                    [i % 10 for i in range(2000)],
+                    rng.normal(size=(2000, 16)))
+    queries = rng.normal(size=(64, 16))
+
+    def scalar():
+        for query in queries:
+            index.search(query, k=8)
+
+    def batched():
+        index.search_batch(queries, k=8)
+
+    scalar_s, batched_s = interleaved_best(scalar, batched, trials)
+    return {
+        "queries": len(queries),
+        "gallery_rows": len(index),
+        "scalar_us": scalar_s * 1e6,
+        "batched_us": batched_s * 1e6,
+        "speedup": scalar_s / batched_s,
+    }
+
+
+def bench_embed_cache(extractor, dataset, trials: int) -> dict:
+    engine = RetrievalEngine(extractor, num_nodes=2, cache_size=64)
+    video = dataset.test[0]
+
+    def miss():
+        engine.clear_embedding_cache()
+        engine.embed_queries([video])
+
+    def hit():
+        engine.embed_queries([video])
+
+    engine.embed_queries([video])  # prime
+    miss_s, hit_s = interleaved_best(miss, hit, trials)
+    return {
+        "miss_us": miss_s * 1e6,
+        "hit_us": hit_s * 1e6,
+        "speedup": miss_s / hit_s,
+    }
+
+
+def assert_gemm_selected() -> None:
+    """The auto policy must pick GEMM for every model-shape conv case."""
+    for name, _, x_shape, w_shape, stride, padding in CONV_CASES:
+        kernel = w_shape[2:]
+        out_spatial = [
+            (size + 2 * padding - k) // stride + 1
+            for size, k in zip(x_shape[2:], kernel)
+        ]
+        gemm_elems = (x_shape[0] * x_shape[1]
+                      * int(np.prod(kernel)) * int(np.prod(out_spatial)))
+        if not should_use_gemm(gemm_elems):
+            raise AssertionError(
+                f"auto policy did not select GEMM for {name} "
+                f"({gemm_elems} im2col elements)")
+    # End-to-end: an auto-dispatched conv actually lands on the GEMM op.
+    x = Tensor(np.zeros(CONV_CASES[0][2]), requires_grad=True)
+    w = Tensor(np.zeros(CONV_CASES[0][3]))
+    out = F.conv3d(x, w, stride=1, padding=1)
+    if out.op != "conv3d.gemm":
+        raise AssertionError(f"auto dispatch produced op {out.op!r}")
+
+
+def check_regression(result: dict, baseline_path: Path,
+                     tolerance: float = 0.10) -> list[str]:
+    """Compare speedup *ratios* against the recorded baseline."""
+    if not baseline_path.exists():
+        return [f"no recorded baseline at {baseline_path}; skipping check"]
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    checks = [
+        ("attack loop", result["attack"]["speedup"],
+         baseline.get("attack", {}).get("speedup")),
+        ("conv min", result["conv_min_speedup"],
+         baseline.get("conv_min_speedup")),
+        ("batched search", result["batched_search"]["speedup"],
+         baseline.get("batched_search", {}).get("speedup")),
+    ]
+    for label, measured, recorded in checks:
+        if recorded is None:
+            continue
+        floor = recorded * (1.0 - tolerance)
+        if measured < floor:
+            failures.append(
+                f"{label} speedup regressed: {measured:.2f}x < "
+                f"{floor:.2f}x (recorded {recorded:.2f}x - {tolerance:.0%})")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the repro.perf fast paths.")
+    parser.add_argument("--iterations", type=int, default=150,
+                        help="SimBA iterations per attack run")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="attack runs per configuration (min is kept)")
+    parser.add_argument("--trials", type=int, default=30,
+                        help="interleaved trials per micro-bench")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI gate: quick run, assert dispatch + no "
+                             "regression vs the recorded baseline")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_perf.json"),
+                        help="output JSON path (full runs only)")
+    args = parser.parse_args(argv)
+
+    iterations = 40 if args.smoke else args.iterations
+    repeats = 1 if args.smoke else args.repeats
+    trials = 10 if args.smoke else args.trials
+
+    assert_gemm_selected()
+    print("[bench_perf_hotpath] GEMM auto-selected for all model shapes")
+
+    conv_rows = bench_conv(trials)
+    extractor, dataset = build_attack_fixture()
+    # Warm-up: one tiny run touches every code path on both impls.
+    attack_loop_seconds(extractor, dataset, 3, 1, "einsum", False, 0)
+    attack_loop_seconds(extractor, dataset, 3, 1, "auto", True, 0)
+    # Both configurations run cacheless: every SimBA candidate has unique
+    # pixels, so an embedding cache can never hit in this loop and would
+    # only add hashing overhead (the cache is measured on its own below).
+    before_s = attack_loop_seconds(extractor, dataset, iterations, repeats,
+                                   conv_impl="einsum", batched=False,
+                                   cache_size=0)
+    after_s = attack_loop_seconds(extractor, dataset, iterations, repeats,
+                                  conv_impl="auto", batched=True,
+                                  cache_size=0)
+
+    result = {
+        "bench": "perf_hotpath",
+        "timestamp": time.time(),
+        "smoke": args.smoke,
+        "conv": conv_rows,
+        "conv_min_speedup": min(row["speedup"] for row in conv_rows),
+        "attack": {
+            "iterations": iterations,
+            "repeats": repeats,
+            "sequential_einsum_s": before_s,
+            "batched_gemm_s": after_s,
+            "speedup": before_s / after_s,
+        },
+        "batched_search": bench_batched_search(trials),
+        "embed_cache": bench_embed_cache(extractor, dataset, trials),
+    }
+    print(json.dumps(result, indent=2))
+
+    out_path = Path(args.out)
+    if args.smoke:
+        # The smoke run gates; it never overwrites the recorded baseline.
+        notes = check_regression(result, out_path)
+        for note in notes:
+            print(f"[bench_perf_hotpath] {note}")
+        failures = [note for note in notes if "regressed" in note]
+        if failures:
+            return 1
+        print("[bench_perf_hotpath] smoke OK")
+    else:
+        out_path.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"[bench_perf_hotpath] wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

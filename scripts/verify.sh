@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # One-stop verification entry point for CI and pre-PR checks:
 #   1. the tier-1 pytest suite,
-#   2. the observability overhead smoke bench (writes BENCH_obs.json).
+#   2. the observability overhead smoke bench (writes BENCH_obs.json),
+#   3. the perf hot-path smoke bench (gates against BENCH_perf.json).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,5 +13,8 @@ python -m pytest -x -q
 
 echo "== obs overhead smoke bench =="
 python benchmarks/bench_obs_overhead.py --smoke
+
+echo "== perf hot-path smoke bench =="
+python benchmarks/bench_perf_hotpath.py --smoke
 
 echo "verify.sh: OK"

@@ -45,7 +45,8 @@ class DUOAttack(Attack):
                  lam: float = np.exp(-5.0), iter_num_q: int = 1000,
                  iter_num_h: int = 2, constraint: str = "linf",
                  eta: float = 1.0, transfer_outer_iters: int = 3,
-                 theta_steps: int = 25, rng=None) -> None:
+                 theta_steps: int = 25, rng=None,
+                 batched: bool | None = None) -> None:
         self.surrogate = surrogate
         self.service = service
         self.eta = float(eta)
@@ -55,7 +56,8 @@ class DUOAttack(Attack):
             surrogate, k=k, n=n, tau=tau, lam=lam, constraint=constraint,
             outer_iters=transfer_outer_iters, theta_steps=theta_steps,
         )
-        self.query = SparseQuery(iter_num_q=iter_num_q, tau=tau, rng=self.rng)
+        self.query = SparseQuery(iter_num_q=iter_num_q, tau=tau, rng=self.rng,
+                                 batched=batched)
 
     def run(self, original: Video, target: Video) -> AttackResult:
         """Synthesize ``v_adv`` for the pair ``(v, v_t)``."""

@@ -49,11 +49,19 @@ class SparseQuery:
         coordinates ("sampled from the Cartesian basis without
         replacement").  ``None`` auto-scales to ``√|support|``; ``1``
         gives classic single-coordinate SimBA.
+    batched:
+        Evaluate each iteration's ±ε candidate pair in one speculative
+        forward batch (``None`` auto-enables when the objective supports
+        speculation and the service is stateless).  Sequential accept
+        semantics are preserved exactly: rng consumption, the trace, the
+        query count, and the accepted perturbations are identical to the
+        unbatched loop — only wall-clock changes.
     """
 
     def __init__(self, iter_num_q: int = 1000, tau: float = 30.0,
                  epsilon_scale: float = 1.0, tie_rule: str = "move",
-                 block_size: int | None = None, rng=None) -> None:
+                 block_size: int | None = None, rng=None,
+                 batched: bool | None = None) -> None:
         if tie_rule not in ("move", "stay"):
             raise ValueError("tie_rule must be 'move' or 'stay'")
         self.iter_num_q = int(iter_num_q)
@@ -61,6 +69,7 @@ class SparseQuery:
         self.epsilon_scale = float(epsilon_scale)
         self.tie_rule = tie_rule
         self.block_size = block_size
+        self.batched = batched
         self.rng = seeded_rng(rng)
 
     def run(self, original: Video, priors: TransferPriors,
@@ -87,6 +96,11 @@ class SparseQuery:
         block = default_block_size(support.size) if self.block_size is None \
             else max(1, int(self.block_size))
 
+        use_batched = self.batched
+        if use_batched is None:
+            use_batched = bool(getattr(objective, "speculate", None)) and \
+                getattr(objective, "speculation_safe", False)
+
         # Consume the Cartesian basis without replacement, reshuffling once
         # a full pass over the support is exhausted.
         order = self.rng.permutation(support)
@@ -102,15 +116,38 @@ class SparseQuery:
                     cursor += block
                     signs = self.rng.choice((-1.0, 1.0), size=chosen.size)
 
+                    # Build both ±ε candidates up front (construction
+                    # consumes no rng, so the stream is unchanged).
+                    pair = []
                     for flip in (+1.0, -1.0):
                         candidate = perturbation.copy()
                         candidate.reshape(-1)[chosen] += flip * signs * epsilon
                         candidate = project_linf(candidate, self.tau)
                         candidate = clip_video_range(base, candidate)
                         if np.array_equal(candidate, perturbation):
-                            continue  # projection undid the step; skip the query
-                        adversarial = original.perturbed(candidate)
-                        value = objective.value(adversarial)
+                            pair.append(None)  # projection undid the step
+                        else:
+                            pair.append(
+                                (candidate, original.perturbed(candidate)))
+                    live = [entry for entry in pair if entry is not None]
+
+                    # Speculatively evaluate the pair in one forward batch,
+                    # then commit sequentially: only consumed evaluations
+                    # touch the query counter and trace, so accept
+                    # semantics match the unbatched loop exactly.
+                    speculated = objective.speculate(
+                        [adversarial for _, adversarial in live]
+                    ) if use_batched and len(live) > 1 else None
+                    spec_index = 0
+                    for entry in pair:
+                        if entry is None:
+                            continue  # skipped candidates cost no query
+                        candidate, adversarial = entry
+                        if speculated is None:
+                            value = objective.value(adversarial)
+                        else:
+                            value = objective.commit(speculated[spec_index])
+                        spec_index += 1
                         trace.append(value)
                         counter("attack.duo.query.evaluations").inc()
                         accept = value < best_value or (

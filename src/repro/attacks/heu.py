@@ -81,7 +81,8 @@ class HeuNesAttack(Attack):
 
     def __init__(self, service: RetrievalService, k: int, n: int = 4,
                  tau: float = 30.0, iterations: int = 100, samples: int = 4,
-                 sigma: float = 0.05, eta: float = 1.0, rng=None) -> None:
+                 sigma: float = 0.05, eta: float = 1.0, rng=None,
+                 batched: bool | None = None) -> None:
         self.service = service
         self.k = int(k)
         self.n = int(n)
@@ -90,6 +91,7 @@ class HeuNesAttack(Attack):
         self.samples = int(samples)
         self.sigma = float(sigma)
         self.eta = float(eta)
+        self.batched = batched
         self.rng = seeded_rng(rng)
 
     def run(self, original: Video, target: Video) -> AttackResult:
@@ -104,7 +106,7 @@ class HeuNesAttack(Attack):
             adversarial, perturbation, trace = nes_search(
                 original, objective, support, tau=self.tau,
                 iterations=self.iterations, samples=self.samples,
-                sigma=self.sigma, rng=self.rng,
+                sigma=self.sigma, rng=self.rng, batched=self.batched,
             )
         return AttackResult(
             adversarial=adversarial,
@@ -122,13 +124,14 @@ class HeuSimAttack(Attack):
 
     def __init__(self, service: RetrievalService, k: int, n: int = 4,
                  tau: float = 30.0, iterations: int = 1000, eta: float = 1.0,
-                 rng=None) -> None:
+                 rng=None, batched: bool | None = None) -> None:
         self.service = service
         self.k = int(k)
         self.n = int(n)
         self.tau = float(tau) / 255.0
         self.iterations = int(iterations)
         self.eta = float(eta)
+        self.batched = batched
         self.rng = seeded_rng(rng)
 
     def run(self, original: Video, target: Video) -> AttackResult:
@@ -142,7 +145,7 @@ class HeuSimAttack(Attack):
                                            random_pixels=True, rng=self.rng)
             adversarial, perturbation, trace = simba_search(
                 original, objective, support, tau=self.tau,
-                iterations=self.iterations, rng=self.rng,
+                iterations=self.iterations, rng=self.rng, batched=self.batched,
             )
         return AttackResult(
             adversarial=adversarial,

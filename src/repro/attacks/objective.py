@@ -8,13 +8,21 @@
 ``R^m(v_adv)`` away from the original's list and toward the target's.
 Every evaluation costs one service query, which the objective counts and
 traces.
+
+Batched evaluation: :meth:`RetrievalObjective.values` scores many
+candidates in one service ``query_batch`` (every candidate is counted and
+traced, in order).  :meth:`speculate`/:meth:`commit` support loops that
+may consume only a prefix of a candidate pair — speculated values are
+computed batched but only committed values touch the query counter and
+trace, so the observable attack state is identical to sequential
+:meth:`value` calls.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.metrics.similarity import ndcg_similarity
+from repro.metrics.similarity import ndcg_similarity, ndcg_similarity_many
 from repro.retrieval.service import RetrievalService
 from repro.video.types import Video
 
@@ -32,6 +40,11 @@ class RetrievalObjective:
         self.queries = 2
         self.trace: list[float] = []
 
+    def _values_of(self, id_lists: list[list[str]]) -> list[float]:
+        h_orig = ndcg_similarity_many(id_lists, self.original_ids)
+        h_target = ndcg_similarity_many(id_lists, self.target_ids)
+        return [ho - ht + self.eta for ho, ht in zip(h_orig, h_target)]
+
     def value(self, candidate: Video) -> float:
         """Evaluate ``T(candidate, v, v_t)``; costs one query."""
         result_ids = self.service.query(candidate).ids
@@ -41,6 +54,40 @@ class RetrievalObjective:
             - ndcg_similarity(result_ids, self.target_ids)
             + self.eta
         )
+        self.trace.append(value)
+        return value
+
+    def values(self, candidates: list[Video]) -> list[float]:
+        """Evaluate ``T`` for many candidates in one forward batch.
+
+        Costs (and traces) one query per candidate, in order — the
+        returned floats and all attack-visible state are identical to a
+        sequential loop of :meth:`value` calls.
+        """
+        results = self.service.query_batch(candidates)
+        self.queries += len(candidates)
+        values = self._values_of([result.ids for result in results])
+        self.trace.extend(values)
+        return values
+
+    @property
+    def speculation_safe(self) -> bool:
+        """Whether :meth:`speculate` is allowed against this service."""
+        return self.service.speculation_safe
+
+    def speculate(self, candidates: list[Video]) -> list[float]:
+        """Compute ``T`` for candidates without counting or tracing.
+
+        Pair with :meth:`commit` for every value actually consumed by the
+        attack loop.
+        """
+        results = self.service.speculate(candidates)
+        return self._values_of([result.ids for result in results])
+
+    def commit(self, value: float) -> float:
+        """Consume one speculated value: count the query and trace it."""
+        self.service.commit_speculated(1)
+        self.queries += 1
         self.trace.append(value)
         return value
 
@@ -76,11 +123,40 @@ class UntargetedRetrievalObjective:
         self.queries = 1
         self.trace: list[float] = []
 
+    def _values_of(self, id_lists: list[list[str]]) -> list[float]:
+        h_orig = ndcg_similarity_many(id_lists, self.original_ids)
+        return [ho + self.eta for ho in h_orig]
+
     def value(self, candidate: Video) -> float:
         """Evaluate ``T_unt(candidate, v)``; costs one query."""
         result_ids = self.service.query(candidate).ids
         self.queries += 1
         value = ndcg_similarity(result_ids, self.original_ids) + self.eta
+        self.trace.append(value)
+        return value
+
+    def values(self, candidates: list[Video]) -> list[float]:
+        """Batched :meth:`value`; counts and traces every candidate."""
+        results = self.service.query_batch(candidates)
+        self.queries += len(candidates)
+        values = self._values_of([result.ids for result in results])
+        self.trace.extend(values)
+        return values
+
+    @property
+    def speculation_safe(self) -> bool:
+        """Whether :meth:`speculate` is allowed against this service."""
+        return self.service.speculation_safe
+
+    def speculate(self, candidates: list[Video]) -> list[float]:
+        """Compute ``T_unt`` for candidates without counting or tracing."""
+        results = self.service.speculate(candidates)
+        return self._values_of([result.ids for result in results])
+
+    def commit(self, value: float) -> float:
+        """Consume one speculated value: count the query and trace it."""
+        self.service.commit_speculated(1)
+        self.queries += 1
         self.trace.append(value)
         return value
 

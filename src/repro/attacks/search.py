@@ -32,7 +32,7 @@ def simba_search(original: Video, objective: RetrievalObjective,
                  support: np.ndarray, tau: float, iterations: int,
                  epsilon: float | None = None, rng=None,
                  initial: np.ndarray | None = None, tie_rule: str = "move",
-                 block_size: int | None = None
+                 block_size: int | None = None, batched: bool | None = None
                  ) -> tuple[Video, np.ndarray, list[float]]:
     """Greedy ±ε direction descent on ``T`` over the ``support``.
 
@@ -58,6 +58,12 @@ def simba_search(original: Video, objective: RetrievalObjective,
     block_size:
         Coordinates per direction; ``None`` selects
         :func:`default_block_size`.
+    batched:
+        Speculatively evaluate each ±ε pair in one forward batch and
+        commit only consumed results (``None`` auto-enables when the
+        objective supports speculation and the service is stateless).
+        Query counts, the trace, and accepted steps are identical to the
+        sequential loop.
 
     Returns ``(adversarial, perturbation, trace)``.
     """
@@ -76,6 +82,10 @@ def simba_search(original: Video, objective: RetrievalObjective,
     block = default_block_size(coords.size) if block_size is None else \
         max(1, int(block_size))
 
+    if batched is None:
+        batched = bool(getattr(objective, "speculate", None)) and \
+            getattr(objective, "speculation_safe", False)
+
     order = rng.permutation(coords)
     cursor = 0
     with span("attack.search.simba", support=int(coords.size), block=block):
@@ -87,15 +97,32 @@ def simba_search(original: Video, objective: RetrievalObjective,
                 chosen = order[cursor : cursor + block]
                 cursor += block
                 signs = rng.choice((-1.0, 1.0), size=chosen.size)
+                # Build both ±ε candidates up front (no rng consumed),
+                # speculate the pair in one batch, commit sequentially.
+                pair = []
                 for flip in (+1.0, -1.0):
                     candidate = perturbation.copy()
                     candidate.reshape(-1)[chosen] += flip * signs * epsilon
                     candidate = clip_video_range(base,
                                                  project_linf(candidate, tau))
                     if np.array_equal(candidate, perturbation):
-                        continue  # projection undid the step; skip the query
-                    adversarial = original.perturbed(candidate)
-                    value = objective.value(adversarial)
+                        pair.append(None)  # projection undid the step
+                    else:
+                        pair.append((candidate, original.perturbed(candidate)))
+                live = [entry for entry in pair if entry is not None]
+                speculated = objective.speculate(
+                    [adversarial for _, adversarial in live]
+                ) if batched and len(live) > 1 else None
+                spec_index = 0
+                for entry in pair:
+                    if entry is None:
+                        continue  # skipped candidates cost no query
+                    candidate, adversarial = entry
+                    if speculated is None:
+                        value = objective.value(adversarial)
+                    else:
+                        value = objective.commit(speculated[spec_index])
+                    spec_index += 1
                     trace.append(value)
                     counter("attack.search.simba.evaluations").inc()
                     if value < best or (tie_rule == "move" and value <= best):
@@ -111,13 +138,20 @@ def simba_search(original: Video, objective: RetrievalObjective,
 def nes_search(original: Video, objective: RetrievalObjective,
                support: np.ndarray, tau: float, iterations: int,
                samples: int = 4, sigma: float = 0.05, lr: float | None = None,
-               rng=None, initial: np.ndarray | None = None
+               rng=None, initial: np.ndarray | None = None,
+               batched: bool | None = None
                ) -> tuple[Video, np.ndarray, list[float]]:
     """NES gradient-estimation descent on ``T`` over ``support``.
 
     Each iteration draws ``samples`` antithetic Gaussian probes (costing
     ``2·samples`` queries), estimates the gradient of ``T``, and takes a
     signed step of size ``lr`` (default ``tau / 10``).
+
+    With ``batched`` (auto-enabled when the objective exposes ``values``)
+    all ``2·samples`` probe evaluations of an iteration share one forward
+    batch.  NES consumes every evaluation unconditionally and probe
+    construction consumes rng before any evaluation, so the rng stream,
+    query count, and trace are identical to the sequential loop.
     """
     rng = seeded_rng(rng)
     base = original.pixels
@@ -131,22 +165,35 @@ def nes_search(original: Video, objective: RetrievalObjective,
     best_perturbation = perturbation.copy()
     trace = [best]
 
+    if batched is None:
+        batched = getattr(objective, "values", None) is not None
+
     with span("attack.search.nes", samples=int(samples)):
         for _ in range(int(iterations)):
             with span("attack.search.nes.iter"):
                 gradient = np.zeros_like(perturbation)
-                for _ in range(int(samples)):
-                    probe = rng.normal(size=perturbation.shape) * mask
-                    plus = original.perturbed(
-                        clip_video_range(base, project_linf(perturbation + sigma * probe, tau))
-                    )
-                    minus = original.perturbed(
-                        clip_video_range(base, project_linf(perturbation - sigma * probe, tau))
-                    )
-                    value_plus = objective.value(plus)
-                    value_minus = objective.value(minus)
-                    trace.extend([value_plus, value_minus])
-                    counter("attack.search.nes.evaluations").inc(2)
+                # Draw every probe before evaluating anything: evaluation
+                # consumes no rng, so the stream matches the sequential
+                # draw-evaluate interleaving exactly.
+                probes = [rng.normal(size=perturbation.shape) * mask
+                          for _ in range(int(samples))]
+                antithetic = []
+                for probe in probes:
+                    antithetic.append(original.perturbed(clip_video_range(
+                        base, project_linf(perturbation + sigma * probe, tau))))
+                    antithetic.append(original.perturbed(clip_video_range(
+                        base, project_linf(perturbation - sigma * probe, tau))))
+                if batched:
+                    # NES consumes all evaluations unconditionally, so a
+                    # plain counted batch preserves trace and query count.
+                    values = objective.values(antithetic)
+                else:
+                    values = [objective.value(video) for video in antithetic]
+                trace.extend(values)
+                counter("attack.search.nes.evaluations").inc(2 * int(samples))
+                for index, probe in enumerate(probes):
+                    value_plus = values[2 * index]
+                    value_minus = values[2 * index + 1]
                     gradient += (value_plus - value_minus) * probe
                 gradient /= 2.0 * sigma * samples
 

@@ -36,3 +36,39 @@ def ndcg_similarity(list_a: Sequence[str], list_b: Sequence[str]) -> float:
         if j is not None:
             gains += discount / np.log2(j + 1.0)
     return float(gains / ideal)
+
+
+def ndcg_similarity_many(lists_a: Sequence[Sequence[str]],
+                         list_b: Sequence[str]) -> list[float]:
+    """:func:`ndcg_similarity` of each list against a fixed ``list_b``.
+
+    Hoists the ``list_b`` rank map and the per-rank discount values out of
+    the per-list loop; each list's accumulation runs in the same order
+    with the same operations as the scalar function, so the returned
+    floats are bit-identical to per-list :func:`ndcg_similarity` calls
+    (batched attack objectives rely on this).
+    """
+    ids_b = list(list_b)
+    if not ids_b:
+        return [0.0 for _ in lists_a]
+    log_b = {video_id: float(np.log2(j + 1.0))
+             for j, video_id in enumerate(ids_b, start=1)}
+    discounts: list[float] = []
+    out: list[float] = []
+    for list_a in lists_a:
+        ids_a = list(list_a)
+        if not ids_a:
+            out.append(0.0)
+            continue
+        while len(discounts) < len(ids_a):
+            discounts.append(1.0 / np.log2(len(discounts) + 2.0))
+        gains = 0.0
+        ideal = 0.0
+        for rank, video_id in enumerate(ids_a):
+            discount = discounts[rank]
+            ideal += discount * discount
+            denom = log_b.get(video_id)
+            if denom is not None:
+                gains += discount / denom
+        out.append(float(gains / ideal))
+    return out

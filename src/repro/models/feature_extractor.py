@@ -42,18 +42,26 @@ class FeatureExtractor(Module):
     def embed_videos(self, videos: Video | list[Video],
                      batch_size: int = 16) -> np.ndarray:
         """Embed videos without building a graph; returns ``(B, D)`` array."""
-        single = isinstance(videos, Video)
-        if single:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if isinstance(videos, Video):
             videos = [videos]
+        if not videos:
+            return np.zeros((0, self.feature_dim))
+        # Convert pixels once up front; chunks are views of one array.
+        inputs = to_model_input(videos)
         was_training = self.training
-        self.eval()
-        chunks = []
-        with no_grad():
-            for start in range(0, len(videos), batch_size):
-                batch = to_model_input(videos[start : start + batch_size])
-                chunks.append(self.forward(Tensor(batch)).data)
         if was_training:
-            self.train()
+            self.eval()
+        chunks = []
+        try:
+            with no_grad():
+                for start in range(0, len(videos), batch_size):
+                    batch = inputs[start : start + batch_size]
+                    chunks.append(self.forward(Tensor(batch)).data)
+        finally:
+            if was_training:
+                self.train()
         return np.concatenate(chunks, axis=0)
 
     def embed_tensor(self, x: Tensor) -> Tensor:

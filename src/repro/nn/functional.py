@@ -13,7 +13,23 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-from repro.nn.tensor import Tensor, make_op
+from repro.nn.tensor import Tensor, get_op_impl, is_grad_enabled, make_op
+
+
+def _gemm_kernels():
+    """The GEMM conv kernel module, or ``None`` when unavailable.
+
+    ``repro.perf`` registers its kernels on import; importing it here (once)
+    keeps ``import repro.nn`` working even if the perf package is removed.
+    """
+    impl = get_op_impl("conv2d.gemm")
+    if impl is None:
+        try:
+            import repro.perf  # noqa: F401 — registers the kernels
+        except ImportError:
+            return None
+        impl = get_op_impl("conv2d.gemm")
+    return impl
 
 
 def _pair(value) -> tuple[int, int]:
@@ -37,13 +53,26 @@ def _triple(value) -> tuple[int, int, int]:
 # ---------------------------------------------------------------------- #
 def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
            stride=1, padding=0) -> Tensor:
-    """2-D cross-correlation (the deep-learning "convolution")."""
+    """2-D cross-correlation (the deep-learning "convolution").
+
+    Dispatches between two numerically-equivalent implementations: the
+    strided-``einsum`` path below and the im2col GEMM fast path from
+    ``repro.perf`` (selected by problem size; force with
+    ``REPRO_CONV_IMPL=gemm|einsum``).
+    """
     sh, sw = _pair(stride)
     ph, pw = _pair(padding)
     batch, in_ch, height, width = x.shape
     out_ch, w_in_ch, kh, kw = weight.shape
     if w_in_ch != in_ch:
         raise ValueError(f"channel mismatch: input has {in_ch}, weight expects {w_in_ch}")
+
+    kernels = _gemm_kernels()
+    if kernels is not None:
+        out_h = (height + 2 * ph - kh) // sh + 1
+        out_w = (width + 2 * pw - kw) // sw + 1
+        if kernels.should_use_gemm(batch * out_h * out_w * in_ch * kh * kw):
+            return _conv2d_gemm(kernels, x, weight, bias, (sh, sw), (ph, pw))
 
     padded = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
     windows = sliding_window_view(padded, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
@@ -79,15 +108,57 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     return make_op(out, parents, backward, "conv2d")
 
 
+def _conv2d_gemm(kernels, x: Tensor, weight: Tensor, bias: Tensor | None,
+                 stride: tuple[int, int], padding: tuple[int, int]) -> Tensor:
+    """conv2d via the im2col GEMM kernels (same contract as :func:`conv2d`)."""
+    records_grad = is_grad_enabled() and (
+        x.requires_grad or weight.requires_grad
+        or (bias is not None and bias.requires_grad)
+    )
+    # The plan's scratch buffer may only be reused when no backward closure
+    # will capture ``cols`` (another same-shape forward would clobber it).
+    out, cols, padded_shape = kernels.conv2d_forward(
+        x.data, weight.data, stride, padding, reuse_scratch=not records_grad)
+    if bias is not None:
+        out += bias.data.reshape(1, -1, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad, fwd=None):
+        grad_x, grad_w = kernels.conv2d_backward(
+            grad, cols, weight.data, x.shape, padded_shape, stride, padding,
+            x.requires_grad, weight.requires_grad)
+        if bias is None:
+            return grad_x, grad_w
+        grad_b = grad.sum(axis=(0, 2, 3)) if bias.requires_grad else None
+        return grad_x, grad_w, grad_b
+
+    return make_op(out, parents, backward, "conv2d.gemm")
+
+
 def conv3d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
            stride=1, padding=0) -> Tensor:
-    """3-D cross-correlation over ``(T, H, W)`` volumes."""
+    """3-D cross-correlation over ``(T, H, W)`` volumes.
+
+    Dispatches like :func:`conv2d`: strided ``einsum`` below, im2col GEMM
+    from ``repro.perf`` for large problems (``REPRO_CONV_IMPL`` overrides).
+    """
     st, sh, sw = _triple(stride)
     pt, ph, pw = _triple(padding)
     batch, in_ch, frames, height, width = x.shape
     out_ch, w_in_ch, kt, kh, kw = weight.shape
     if w_in_ch != in_ch:
         raise ValueError(f"channel mismatch: input has {in_ch}, weight expects {w_in_ch}")
+
+    kernels = _gemm_kernels()
+    if kernels is not None:
+        out_t = (frames + 2 * pt - kt) // st + 1
+        out_h = (height + 2 * ph - kh) // sh + 1
+        out_w = (width + 2 * pw - kw) // sw + 1
+        if kernels.should_use_gemm(
+                batch * out_t * out_h * out_w * in_ch * kt * kh * kw):
+            return _conv3d_gemm(kernels, x, weight, bias,
+                                (st, sh, sw), (pt, ph, pw))
 
     padded = np.pad(x.data, ((0, 0), (0, 0), (pt, pt), (ph, ph), (pw, pw)))
     windows = sliding_window_view(padded, (kt, kh, kw), axis=(2, 3, 4))[
@@ -132,6 +203,33 @@ def conv3d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     return make_op(out, parents, backward, "conv3d")
 
 
+def _conv3d_gemm(kernels, x: Tensor, weight: Tensor, bias: Tensor | None,
+                 stride: tuple[int, int, int],
+                 padding: tuple[int, int, int]) -> Tensor:
+    """conv3d via the im2col GEMM kernels (same contract as :func:`conv3d`)."""
+    records_grad = is_grad_enabled() and (
+        x.requires_grad or weight.requires_grad
+        or (bias is not None and bias.requires_grad)
+    )
+    out, cols, padded_shape = kernels.conv3d_forward(
+        x.data, weight.data, stride, padding, reuse_scratch=not records_grad)
+    if bias is not None:
+        out += bias.data.reshape(1, -1, 1, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad, fwd=None):
+        grad_x, grad_w = kernels.conv3d_backward(
+            grad, cols, weight.data, x.shape, padded_shape, stride, padding,
+            x.requires_grad, weight.requires_grad)
+        if bias is None:
+            return grad_x, grad_w
+        grad_b = grad.sum(axis=(0, 2, 3, 4)) if bias.requires_grad else None
+        return grad_x, grad_w, grad_b
+
+    return make_op(out, parents, backward, "conv3d.gemm")
+
+
 # ---------------------------------------------------------------------- #
 # Pooling
 # ---------------------------------------------------------------------- #
@@ -146,11 +244,32 @@ def max_pool3d(x: Tensor, kernel_size, stride=None) -> Tensor:
     """Max pooling over ``(T, H, W)``; ``stride`` defaults to the kernel."""
     kernel = _triple(kernel_size)
     stride = kernel if stride is None else _triple(stride)
-    windows = _pool3d_windows(x.data, kernel, stride)
-    out = windows.max(axis=(5, 6, 7))
-    out_t, out_h, out_w = out.shape[2:]
+    out_t = (x.shape[2] - kernel[0]) // stride[0] + 1
+    out_h = (x.shape[3] - kernel[1]) // stride[1] + 1
+    out_w = (x.shape[4] - kernel[2]) // stride[2] + 1
+    # Forward as a running elementwise max over kernel-offset slabs: max is
+    # order-independent, so this matches the window reduction exactly while
+    # never materializing the (B, C, T', H', W', kt, kh, kw) window tensor.
+    out = None
+    for it in range(kernel[0]):
+        for ih in range(kernel[1]):
+            for iw in range(kernel[2]):
+                slab = x.data[
+                    :,
+                    :,
+                    it : it + out_t * stride[0] : stride[0],
+                    ih : ih + out_h * stride[1] : stride[1],
+                    iw : iw + out_w * stride[2] : stride[2],
+                ]
+                if out is None:
+                    out = slab.copy()
+                else:
+                    np.maximum(out, slab, out=out)
 
     def backward(grad, fwd=None):
+        # The window view is only needed to locate argmaxes, so it is built
+        # lazily here — inference never pays for it.
+        windows = _pool3d_windows(x.data, kernel, stride)
         grad_x = np.zeros_like(x.data)
         # Distribute each output's gradient to the argmax inside its window.
         mask = windows == out[..., None, None, None]

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.nn import functional as F
 from repro.nn import init
-from repro.nn.tensor import Tensor, concatenate, stack
+from repro.nn.tensor import Tensor, concatenate, is_grad_enabled, stack
 from repro.utils.seeding import seeded_rng
 
 # Forward-dispatch profiling hook (installed by repro.obs.profiler).
@@ -283,10 +283,20 @@ class BatchNorm(Module):
         self.bias = Parameter(init.zeros((num_features,)))
         self.register_buffer("running_mean", np.zeros(num_features))
         self.register_buffer("running_var", np.ones(num_features))
+        self._axes_by_ndim: dict[int, tuple[tuple, tuple]] = {}
+
+    def _stat_geometry(self, ndim: int) -> tuple[tuple, tuple]:
+        cached = self._axes_by_ndim.get(ndim)
+        if cached is None:
+            cached = (
+                tuple(i for i in range(ndim) if i != 1),
+                tuple(self.num_features if i == 1 else 1 for i in range(ndim)),
+            )
+            self._axes_by_ndim[ndim] = cached
+        return cached
 
     def forward(self, x: Tensor) -> Tensor:
-        reduce_axes = tuple(i for i in range(x.ndim) if i != 1)
-        stat_shape = tuple(self.num_features if i == 1 else 1 for i in range(x.ndim))
+        reduce_axes, stat_shape = self._stat_geometry(x.ndim)
 
         if self.training:
             mean = x.mean(axis=reduce_axes, keepdims=True)
@@ -302,6 +312,20 @@ class BatchNorm(Module):
                 (1 - m) * self.running_var + m * var.data.reshape(-1),
             )
         else:
+            if not is_grad_enabled() or not (
+                x.requires_grad or self.weight.requires_grad
+                or self.bias.requires_grad
+            ):
+                # Inference fast path: same op sequence as the Tensor-graph
+                # branch below — (x − μ) · inv_std · w + b, elementwise in
+                # that order — so the result is bit-identical, but run
+                # in-place on one buffer instead of allocating four.
+                inv = (self.running_var.reshape(stat_shape) + self.eps) ** -0.5
+                out = x.data - self.running_mean.reshape(stat_shape)
+                out *= inv
+                out *= self.weight.data.reshape(stat_shape)
+                out += self.bias.data.reshape(stat_shape)
+                return Tensor(out)
             mean = Tensor(self.running_mean.reshape(stat_shape))
             centered = x - mean
             var = Tensor(self.running_var.reshape(stat_shape))

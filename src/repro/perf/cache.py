@@ -1,0 +1,117 @@
+"""Content-hash LRU cache for query embeddings.
+
+Repeated queries of *unchanged* videos are common outside the inner
+attack loop: defense sweeps re-query the same originals per defense,
+metric recomputation re-embeds the winners, and ``run_all`` rebuilds the
+same gallery per experiment.  Each of those pays a full model forward
+for pixels the engine has already embedded.
+
+:class:`EmbeddingCache` keys on a BLAKE2b digest of the raw pixel bytes
+(plus shape), so any single-value perturbation — i.e. every candidate the
+attacks generate — is a guaranteed miss and costs only the hash (~µs at
+clip sizes used here, vs. ms for a forward).  Stored features are frozen
+(`writeable=False`) and returned as-is, so hits are bit-identical to the
+original forward.  Hit/miss/eviction counts are exported through
+``repro.obs`` under ``retrieval.embed_cache.*``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.obs import counter, gauge
+
+#: Default capacity; override per-engine or via ``REPRO_EMBED_CACHE``.
+DEFAULT_CAPACITY = 256
+
+
+def default_capacity() -> int:
+    """Capacity from ``REPRO_EMBED_CACHE`` (``0`` disables caching)."""
+    raw = os.environ.get("REPRO_EMBED_CACHE", "")
+    if not raw.strip():
+        return DEFAULT_CAPACITY
+    try:
+        return max(0, int(raw))
+    except ValueError as exc:
+        raise ValueError(
+            f"REPRO_EMBED_CACHE={raw!r} is not an integer") from exc
+
+
+def content_key(pixels: np.ndarray) -> bytes:
+    """Digest of a pixel array's contents + geometry."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(pixels.shape).encode())
+    digest.update(str(pixels.dtype).encode())
+    digest.update(np.ascontiguousarray(pixels).tobytes())
+    return digest.digest()
+
+
+class EmbeddingCache:
+    """Bounded LRU map from pixel-content digests to feature vectors.
+
+    A ``capacity`` of 0 disables the cache (every lookup misses, nothing
+    is stored), which keeps call sites branch-free.
+    """
+
+    def __init__(self, capacity: int | None = None,
+                 metric_prefix: str = "retrieval.embed_cache") -> None:
+        self.capacity = default_capacity() if capacity is None else int(capacity)
+        if self.capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {self.capacity}")
+        self.metric_prefix = metric_prefix
+        self._entries: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def get(self, key: bytes) -> np.ndarray | None:
+        """Look up a digest; counts a hit or miss either way."""
+        entry = self._entries.get(key) if self.enabled else None
+        if entry is None:
+            self.misses += 1
+            counter(f"{self.metric_prefix}.misses").inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        counter(f"{self.metric_prefix}.hits").inc()
+        return entry
+
+    def put(self, key: bytes, feature: np.ndarray) -> None:
+        """Store a feature vector (frozen against mutation)."""
+        if not self.enabled:
+            return
+        stored = np.asarray(feature)
+        stored.setflags(write=False)
+        self._entries[key] = stored
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            counter(f"{self.metric_prefix}.evictions").inc()
+        gauge(f"{self.metric_prefix}.size").set(len(self._entries))
+
+    def clear(self) -> None:
+        """Drop every entry (e.g. after the extractor's weights change)."""
+        self._entries.clear()
+        gauge(f"{self.metric_prefix}.size").set(0)
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counts and current size."""
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -13,7 +13,12 @@ from repro.retrieval.similarity import (
     negative_l2,
     cosine,
     SIMILARITIES,
+    BATCH_SIMILARITIES,
+    batched_similarity,
+    cosine_batch,
     create_similarity,
+    hamming_batch,
+    negative_l2_batch,
 )
 from repro.retrieval.lists import RetrievalEntry, RetrievalList
 from repro.retrieval.index import FeatureIndex
@@ -26,6 +31,11 @@ __all__ = [
     "negative_l2",
     "cosine",
     "SIMILARITIES",
+    "BATCH_SIMILARITIES",
+    "batched_similarity",
+    "cosine_batch",
+    "hamming_batch",
+    "negative_l2_batch",
     "create_similarity",
     "RetrievalEntry",
     "RetrievalList",

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.models.feature_extractor import FeatureExtractor
+from repro.perf.cache import EmbeddingCache, content_key
 from repro.retrieval.lists import RetrievalList
 from repro.retrieval.nodes import ShardedGallery
 from repro.retrieval.similarity import SimilarityFn, create_similarity, negative_l2
@@ -16,22 +17,58 @@ class RetrievalEngine:
 
     This is the *owner-side* view of the system — it exposes the model.
     Attackers must use :class:`~repro.retrieval.service.RetrievalService`.
+
+    Query embeddings flow through a content-hash LRU cache
+    (:class:`~repro.perf.cache.EmbeddingCache`): re-querying unchanged
+    pixels skips the model forward and returns bit-identical features.
+    The cache assumes the extractor's weights are frozen for the engine's
+    lifetime (true for every victim service here); call
+    :meth:`clear_embedding_cache` after mutating them.  ``cache_size=0``
+    (or ``REPRO_EMBED_CACHE=0``) disables caching.
     """
 
     def __init__(self, extractor: FeatureExtractor,
                  similarity: SimilarityFn | str = negative_l2,
-                 num_nodes: int = 4) -> None:
+                 num_nodes: int = 4, cache_size: int | None = None) -> None:
         if isinstance(similarity, str):
             similarity = create_similarity(similarity)
         self.extractor = extractor
         self.gallery = ShardedGallery(num_nodes=num_nodes, similarity=similarity)
+        self.embedding_cache = EmbeddingCache(cache_size)
+
+    # -------------------------------------------------------------- #
+    # Embedding (cached)
+    # -------------------------------------------------------------- #
+    def embed_queries(self, videos: list[Video],
+                      batch_size: int = 16) -> np.ndarray:
+        """Embed videos through the cache; misses share one forward batch."""
+        if not videos:
+            return np.zeros((0, self.extractor.feature_dim))
+        if not self.embedding_cache.enabled:
+            return self.extractor.embed_videos(videos, batch_size=batch_size)
+        keys = [content_key(video.pixels) for video in videos]
+        features: list[np.ndarray | None] = [
+            self.embedding_cache.get(key) for key in keys
+        ]
+        miss_rows = [i for i, feature in enumerate(features) if feature is None]
+        if miss_rows:
+            fresh = self.extractor.embed_videos(
+                [videos[i] for i in miss_rows], batch_size=batch_size)
+            for row, feature in zip(miss_rows, fresh):
+                self.embedding_cache.put(keys[row], feature)
+                features[row] = feature
+        return np.stack(features)
+
+    def clear_embedding_cache(self) -> None:
+        """Drop cached embeddings (required after changing model weights)."""
+        self.embedding_cache.clear()
 
     # -------------------------------------------------------------- #
     # Gallery management
     # -------------------------------------------------------------- #
     def index_videos(self, videos: list[Video], batch_size: int = 16) -> None:
         """Embed and insert videos into the gallery."""
-        features = self.extractor.embed_videos(videos, batch_size=batch_size)
+        features = self.embed_queries(videos, batch_size=batch_size)
         self.gallery.add_batch(
             [v.video_id for v in videos], [v.label for v in videos], features
         )
@@ -45,8 +82,22 @@ class RetrievalEngine:
     # -------------------------------------------------------------- #
     def retrieve(self, video: Video, m: int) -> RetrievalList:
         """Return ``R^m(v)``: the ``m`` most similar gallery videos."""
-        feature = self.extractor.embed_videos(video)[0]
+        feature = self.embed_queries([video])[0]
         return RetrievalList(self.gallery.search(feature, m))
+
+    def retrieve_batch(self, videos: list[Video], m: int) -> list[RetrievalList]:
+        """``R^m`` for every video, embedded in one forward batch.
+
+        Identical results to per-video :meth:`retrieve` calls; the model
+        forward, gallery scoring, and top-k all run batched.
+        """
+        if not videos:
+            return []
+        features = self.embed_queries(videos)
+        return [
+            RetrievalList(entries)
+            for entries in self.gallery.search_batch(features, m)
+        ]
 
     def retrieve_by_feature(self, feature: np.ndarray, m: int) -> RetrievalList:
         """Search with a precomputed embedding (used by defenses)."""

@@ -5,15 +5,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.retrieval.lists import RetrievalEntry
-from repro.retrieval.similarity import SimilarityFn, negative_l2
+from repro.retrieval.similarity import SimilarityFn, batched_similarity, negative_l2
 
 
 class FeatureIndex:
     """Flat index mapping features to (video_id, label) rows.
 
-    Rows are appended with :meth:`add`; :meth:`search` scores the query
-    against every row with the configured similarity and returns the
-    ``k`` best entries.
+    Rows are appended with :meth:`add`/:meth:`add_batch`; :meth:`search`
+    scores the query against every row with the configured similarity and
+    returns the ``k`` best entries.  :meth:`search_batch` does the same
+    for a ``(B, d)`` query matrix with one vectorized scoring pass and one
+    ``argpartition`` for the whole batch.
     """
 
     def __init__(self, similarity: SimilarityFn = negative_l2) -> None:
@@ -40,30 +42,83 @@ class FeatureIndex:
 
     def add_batch(self, ids: list[str], labels: list[int],
                   features: np.ndarray) -> None:
-        """Append many rows at once (``features`` is ``(n, d)``)."""
-        for video_id, label, feature in zip(ids, labels, features):
-            self.add(video_id, label, feature)
+        """Append many rows in one pass (``features`` is ``(n, d)``).
+
+        Validates the feature dimension once and invalidates the matrix
+        cache once, instead of per-row.
+        """
+        # Mirror the zip() semantics of per-row insertion: extra entries in
+        # any argument are ignored.
+        count = min(len(ids), len(labels), len(features))
+        if count == 0:
+            return
+        features = np.asarray(features[:count], dtype=np.float64)
+        features = features.reshape(count, -1)
+        if self._features and features.shape[1:] != self._features[0].shape:
+            raise ValueError(
+                f"feature dim mismatch: {features.shape[1:]} vs "
+                f"{self._features[0].shape}"
+            )
+        self._features.extend(features)
+        self._ids.extend(str(video_id) for video_id in ids[:count])
+        self._labels.extend(int(label) for label in labels[:count])
+        self._matrix = None  # invalidate cache (once per batch)
 
     def _feature_matrix(self) -> np.ndarray:
+        """The ``(n, d)`` gallery matrix; callers must guard ``n == 0``."""
+        if not self._features:
+            # An empty index has no feature dimension to expose; searching
+            # it must short-circuit rather than score a bogus (0, 0) array.
+            raise RuntimeError("feature matrix requested from an empty index")
         if self._matrix is None:
-            self._matrix = np.stack(self._features) if self._features else \
-                np.empty((0, 0))
+            self._matrix = np.stack(self._features)
         return self._matrix
 
-    def search(self, query: np.ndarray, k: int) -> list[RetrievalEntry]:
-        """Return the ``k`` most similar entries, best first."""
-        if not self._ids:
-            return []
-        query = np.asarray(query, dtype=np.float64).reshape(-1)
-        scores = self.similarity(query, self._feature_matrix())
-        k = min(int(k), len(scores))
-        # argpartition then exact sort of the short head.
+    def _top_k(self, scores: np.ndarray, k: int) -> list[RetrievalEntry]:
+        """Exact-sorted head of one score row (argpartition + short sort)."""
         head = np.argpartition(-scores, k - 1)[:k]
         order = head[np.argsort(-scores[head], kind="stable")]
         return [
             RetrievalEntry(self._ids[i], self._labels[i], float(scores[i]))
             for i in order
         ]
+
+    def search(self, query: np.ndarray, k: int) -> list[RetrievalEntry]:
+        """Return the ``k`` most similar entries, best first.
+
+        An empty index returns an empty list for any query shape.
+        """
+        if not self._ids:
+            return []
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        scores = self.similarity(query, self._feature_matrix())
+        return self._top_k(scores, min(int(k), len(scores)))
+
+    def search_batch(self, queries: np.ndarray, k: int
+                     ) -> list[list[RetrievalEntry]]:
+        """Top-k for each row of a ``(B, d)`` query matrix.
+
+        Scores all queries in one vectorized similarity call and one
+        ``argpartition`` over the batch; per-row results are identical to
+        B :meth:`search` calls (the l2 batch kernel is bit-exact).
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        queries = queries.reshape(queries.shape[0], -1) if queries.ndim > 1 \
+            else queries.reshape(1, -1)
+        if not self._ids:
+            return [[] for _ in range(queries.shape[0])]
+        scores = batched_similarity(self.similarity)(
+            queries, self._feature_matrix())
+        k = min(int(k), scores.shape[1])
+        heads = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+        results = []
+        for row, head in zip(scores, heads):
+            order = head[np.argsort(-row[head], kind="stable")]
+            results.append([
+                RetrievalEntry(self._ids[i], self._labels[i], float(row[i]))
+                for i in order
+            ])
+        return results
 
     def labels_of(self) -> list[int]:
         """All stored labels (gallery statistics, metric computation)."""

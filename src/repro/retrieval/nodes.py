@@ -54,6 +54,15 @@ class DataNode:
         self.search_count += 1
         return self.index.search(query, k)
 
+    def search_batch(self, queries: np.ndarray, k: int
+                     ) -> list[list[RetrievalEntry]]:
+        """Local top-k for ``(B, d)`` queries in one vectorized pass."""
+        if not self.alive:
+            counter("gallery.node_down_errors", node=self.node_id).inc()
+            raise NodeDownError(f"node {self.node_id} is down")
+        self.search_count += len(queries)
+        return self.index.search_batch(queries, k)
+
     def take_down(self) -> None:
         """Simulate a node failure."""
         self.alive = False
@@ -102,9 +111,27 @@ class ShardedGallery:
 
     def add_batch(self, ids: list[str], labels: list[int],
                   features: np.ndarray) -> None:
-        """Insert many rows, spread across shards."""
-        for video_id, label, feature in zip(ids, labels, features):
-            self.add(video_id, label, feature)
+        """Insert many rows, spread across shards.
+
+        Rows land on exactly the shards sequential :meth:`add` calls would
+        pick (round-robin from the current cursor), but each shard ingests
+        its slice in one :meth:`FeatureIndex.add_batch` call.
+        """
+        count = min(len(ids), len(labels), len(features))
+        if count == 0:
+            return
+        features = np.asarray(features[:count], dtype=np.float64)
+        num_nodes = len(self.nodes)
+        start = self._next_shard
+        for node_offset in range(min(num_nodes, count)):
+            node = self.nodes[(start + node_offset) % num_nodes]
+            rows = range(node_offset, count, num_nodes)
+            node.index.add_batch(
+                [ids[row] for row in rows],
+                [labels[row] for row in rows],
+                features[node_offset::num_nodes],
+            )
+        self._next_shard = (start + count) % num_nodes
 
     def search(self, query: np.ndarray, k: int) -> list[RetrievalEntry]:
         """Scatter/gather top-k across live nodes, best first."""
@@ -126,6 +153,38 @@ class ShardedGallery:
             if len(partials) < len(self.nodes):
                 counter("gallery.degraded_searches").inc()
             return top
+
+    def search_batch(self, queries: np.ndarray, k: int
+                     ) -> list[list[RetrievalEntry]]:
+        """Scatter/gather top-k for a ``(B, d)`` query matrix.
+
+        Each live node scores the whole batch in one vectorized pass; the
+        coordinator then merges partial lists per query.  Results are
+        identical to B sequential :meth:`search` calls.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        batch = queries.shape[0]
+        with span("gallery.search_batch", k=int(k), batch=batch):
+            node_results: list[list[list[RetrievalEntry]]] = []
+            for node in self.nodes:
+                if not node.alive:
+                    counter("gallery.node_skipped", node=node.node_id).inc()
+                    continue
+                start = time.perf_counter()
+                node_results.append(node.search_batch(queries, k))
+                histogram("gallery.node_latency_s",
+                          buckets=NODE_LATENCY_BUCKETS,
+                          node=node.node_id).observe(
+                              time.perf_counter() - start)
+            merged_lists = []
+            for query_idx in range(batch):
+                partials = [results[query_idx] for results in node_results]
+                merged = heapq.merge(*partials, key=lambda entry: -entry.score)
+                merged_lists.append(list(merged)[: int(k)])
+            counter("gallery.searches").inc(batch)
+            if len(node_results) < len(self.nodes):
+                counter("gallery.degraded_searches").inc(batch)
+            return merged_lists
 
     def labels_of(self) -> list[int]:
         """All labels across every shard (including downed ones)."""

@@ -5,6 +5,20 @@ facade counts queries (query efficiency is a headline metric for
 black-box attacks), optionally enforces a query budget, and can wrap the
 engine with a defense that preprocesses inputs and/or flags adversarial
 queries.
+
+Batched evaluation
+------------------
+``query_batch`` embeds many candidates in one model forward while keeping
+*sequential* accounting semantics: each video is budget-checked and
+counted in order, so a mid-batch budget exhaustion raises at exactly the
+query index a sequential loop would have.
+
+``speculate``/``commit_speculated`` support attack loops that evaluate a
+candidate pair but may consume only the first result (SimBA's ±flip):
+speculation computes results without touching the query counter, and the
+caller commits exactly the evaluations a sequential attacker would have
+issued.  Speculation requires a stateless service (no preprocessor) —
+a stateful defense must never observe phantom queries.
 """
 
 from __future__ import annotations
@@ -50,31 +64,120 @@ class RetrievalService:
         """Zero the query counter (e.g. between attack runs)."""
         self.query_count = 0
 
+    # -------------------------------------------------------------- #
+    # Accounting (shared by sequential, batched, and committed paths)
+    # -------------------------------------------------------------- #
+    def _check_budget(self) -> None:
+        if self.query_budget is not None and self.query_count >= self.query_budget:
+            counter("retrieval.budget_exceeded").inc()
+            raise QueryBudgetExceeded(
+                f"query budget of {self.query_budget} exhausted"
+            )
+
+    def _account_one(self) -> None:
+        self.query_count += 1
+        counter("retrieval.queries").inc()
+        if self.query_budget is not None:
+            gauge("retrieval.budget_remaining").set(
+                self.query_budget - self.query_count)
+
+    def _prepare(self, video: Video, record: bool = True) -> Video:
+        """Quantize + run the defense preprocessor on one query video."""
+        if self.quantize_queries:
+            from repro.video.transforms import dequantize_uint8, quantize_uint8
+
+            video = dequantize_uint8(quantize_uint8(video), video.label,
+                                     video.video_id)
+            if record:
+                counter("retrieval.quantized_queries").inc()
+        if self.preprocessor is not None:
+            with span("retrieval.defense.preprocess"):
+                video = self.preprocessor(video)
+            counter("retrieval.defense.preprocessed").inc()
+        return video
+
+    # -------------------------------------------------------------- #
+    # Queries
+    # -------------------------------------------------------------- #
     def query(self, video: Video, m: int | None = None) -> RetrievalList:
         """Return the retrieval list for ``video``.
 
         Raises :class:`QueryBudgetExceeded` once the budget is exhausted;
         this models server-side throttling of suspicious accounts.
         """
-        if self.query_budget is not None and self.query_count >= self.query_budget:
-            counter("retrieval.budget_exceeded").inc()
-            raise QueryBudgetExceeded(
-                f"query budget of {self.query_budget} exhausted"
-            )
-        self.query_count += 1
-        counter("retrieval.queries").inc()
-        if self.query_budget is not None:
-            gauge("retrieval.budget_remaining").set(
-                self.query_budget - self.query_count)
+        self._check_budget()
+        self._account_one()
         with span("retrieval.query"):
-            if self.quantize_queries:
-                from repro.video.transforms import dequantize_uint8, quantize_uint8
-
-                video = dequantize_uint8(quantize_uint8(video), video.label,
-                                         video.video_id)
-                counter("retrieval.quantized_queries").inc()
-            if self.preprocessor is not None:
-                with span("retrieval.defense.preprocess"):
-                    video = self.preprocessor(video)
-                counter("retrieval.defense.preprocessed").inc()
+            video = self._prepare(video)
             return self.engine.retrieve(video, self.m if m is None else int(m))
+
+    def query_batch(self, videos: list[Video],
+                    m: int | None = None) -> list[RetrievalList]:
+        """Retrieval lists for many videos in one model forward.
+
+        Accounting is per-video and in order: if the budget runs out at
+        the ``i``-th video the counter stops exactly where a sequential
+        loop would have, and the exception propagates before any result
+        is returned.
+        """
+        if "query" in self.__dict__:
+            # The instance's query entry point was overridden (wrapped by a
+            # detector, a test spy, ...) — batching must not route around
+            # the instrumentation, so fall back to per-video queries.
+            return [self.query(video, m) for video in videos]
+        prepared = []
+        for video in videos:
+            self._check_budget()
+            self._account_one()
+            prepared.append(self._prepare(video))
+        with span("retrieval.query_batch", batch=len(videos)):
+            return self.engine.retrieve_batch(
+                prepared, self.m if m is None else int(m))
+
+    # -------------------------------------------------------------- #
+    # Speculative evaluation
+    # -------------------------------------------------------------- #
+    @property
+    def speculation_safe(self) -> bool:
+        """Whether results may be precomputed without observable effects.
+
+        A defense preprocessor may be stateful or randomized; evaluating
+        a candidate the attacker would never have sent could perturb it.
+        Quantization is pure, so it does not block speculation.  An
+        instance-level override of :meth:`query` (a stateful detector or
+        test spy wrapping the entry point) also disables speculation —
+        phantom evaluations must never bypass instrumentation.
+        """
+        return self.preprocessor is None and "query" not in self.__dict__
+
+    def speculate(self, videos: list[Video],
+                  m: int | None = None) -> list[RetrievalList]:
+        """Compute retrieval lists without counting any query.
+
+        Callers must pair this with :meth:`commit_speculated` for every
+        result they actually consume, so the query counter, budget, and
+        obs counters end up exactly where sequential :meth:`query` calls
+        would have left them.
+        """
+        if not self.speculation_safe:
+            raise RuntimeError(
+                "speculative queries require a stateless service "
+                "(preprocessor is set)")
+        prepared = [self._prepare(video, record=False) for video in videos]
+        with span("retrieval.speculate", batch=len(videos)):
+            return self.engine.retrieve_batch(
+                prepared, self.m if m is None else int(m))
+
+    def commit_speculated(self, count: int = 1) -> None:
+        """Account for ``count`` speculated results that were consumed.
+
+        Replays :meth:`query`'s accounting per result: budget check (may
+        raise :class:`QueryBudgetExceeded` mid-commit, leaving the counter
+        exactly as the sequential attack would have), query counter, and
+        obs counters.
+        """
+        for _ in range(int(count)):
+            self._check_budget()
+            self._account_one()
+            if self.quantize_queries:
+                counter("retrieval.quantized_queries").inc()

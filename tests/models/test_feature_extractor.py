@@ -1,0 +1,57 @@
+"""Tests for FeatureExtractor.embed_videos batching behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.models import create_feature_extractor
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return create_feature_extractor("c3d", feature_dim=8, width=2, rng=3)
+
+
+class TestEmbedVideos:
+    def test_invalid_batch_size(self, extractor, tiny_dataset):
+        with pytest.raises(ValueError, match="batch_size"):
+            extractor.embed_videos(tiny_dataset.test[:2], batch_size=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            extractor.embed_videos(tiny_dataset.test[:2], batch_size=-4)
+
+    def test_empty_list(self, extractor):
+        features = extractor.embed_videos([])
+        assert features.shape == (0, extractor.feature_dim)
+
+    def test_single_video_matches_list(self, extractor, tiny_dataset):
+        video = tiny_dataset.test[0]
+        single = extractor.embed_videos(video)
+        listed = extractor.embed_videos([video])
+        np.testing.assert_array_equal(single, listed)
+
+    def test_chunking_equivalent(self, extractor, tiny_dataset):
+        videos = tiny_dataset.test[:5]
+        small_chunks = extractor.embed_videos(videos, batch_size=2)
+        one_chunk = extractor.embed_videos(videos, batch_size=16)
+        assert small_chunks.shape == (5, extractor.feature_dim)
+        np.testing.assert_allclose(small_chunks, one_chunk,
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_training_mode_restored(self, extractor, tiny_dataset):
+        extractor.train()
+        try:
+            extractor.embed_videos(tiny_dataset.test[:2])
+            assert extractor.training
+        finally:
+            extractor.eval()
+        extractor.embed_videos(tiny_dataset.test[:2])
+        assert not extractor.training
+
+    def test_training_mode_restored_on_error(self, extractor, tiny_dataset):
+        broken = tiny_dataset.test[0]
+        extractor.train()
+        try:
+            with pytest.raises(ValueError):
+                extractor.embed_videos([broken], batch_size=-1)
+            assert extractor.training
+        finally:
+            extractor.eval()
