@@ -55,7 +55,7 @@ def build_service(seed: int = 0) -> tuple[RetrievalService, object, object]:
     extractor.requires_grad_(False)
     engine = RetrievalEngine(extractor, num_nodes=3)
     engine.index_videos(dataset.train)
-    service = RetrievalService(engine, m=8)
+    service = RetrievalService.build(engine, m=8)
     return service, dataset.test[0], dataset.test[1]
 
 

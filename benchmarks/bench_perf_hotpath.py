@@ -132,7 +132,7 @@ def attack_loop_seconds(extractor, dataset, iterations: int, repeats: int,
             engine = RetrievalEngine(extractor, num_nodes=3,
                                      cache_size=cache_size)
             engine.index_videos(dataset.train)
-            service = RetrievalService(engine, m=8)
+            service = RetrievalService.build(engine, m=8)
             objective = RetrievalObjective(service, original, target)
             start = time.perf_counter()
             simba_search(original, objective, support, tau=0.1,

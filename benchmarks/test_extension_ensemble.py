@@ -33,7 +33,7 @@ def _run() -> TableResult:
 
     systems = {
         "single (resnet18)": single.service,
-        "ensemble (resnet18+tpn)": RetrievalService(
+        "ensemble (resnet18+tpn)": RetrievalService.build(
             EnsembleEngine([single.engine, second.engine]), m=scale.m),
     }
     for name, service in systems.items():

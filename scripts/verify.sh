@@ -2,7 +2,9 @@
 # One-stop verification entry point for CI and pre-PR checks:
 #   1. the tier-1 pytest suite,
 #   2. the observability overhead smoke bench (writes BENCH_obs.json),
-#   3. the perf hot-path smoke bench (gates against BENCH_perf.json).
+#   3. the perf hot-path smoke bench (gates against BENCH_perf.json),
+#   4. the fault-injection smoke tests + resilience overhead bench
+#      (gates the <5% fault-free wrapper overhead contract).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,5 +18,11 @@ python benchmarks/bench_obs_overhead.py --smoke
 
 echo "== perf hot-path smoke bench =="
 python benchmarks/bench_perf_hotpath.py --smoke
+
+echo "== fault-injection smoke tests =="
+python -m pytest -x -q tests/resilience
+
+echo "== resilience smoke bench =="
+python benchmarks/bench_resilience.py --smoke
 
 echo "verify.sh: OK"

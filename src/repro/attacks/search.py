@@ -13,7 +13,9 @@ import numpy as np
 
 from repro.attacks.base import clip_video_range, project_linf
 from repro.attacks.objective import RetrievalObjective
+from repro.errors import RetrievalUnavailable
 from repro.obs import counter, gauge, span
+from repro.resilience.checkpoint import CheckpointSession
 from repro.utils.seeding import seeded_rng
 from repro.video.types import Video
 
@@ -32,7 +34,8 @@ def simba_search(original: Video, objective: RetrievalObjective,
                  support: np.ndarray, tau: float, iterations: int,
                  epsilon: float | None = None, rng=None,
                  initial: np.ndarray | None = None, tie_rule: str = "move",
-                 block_size: int | None = None, batched: bool | None = None
+                 block_size: int | None = None, batched: bool | None = None,
+                 checkpoint_path=None
                  ) -> tuple[Video, np.ndarray, list[float]]:
     """Greedy ±ε direction descent on ``T`` over the ``support``.
 
@@ -64,6 +67,10 @@ def simba_search(original: Video, objective: RetrievalObjective,
         objective supports speculation and the service is stateless).
         Query counts, the trace, and accepted steps are identical to the
         sequential loop.
+    checkpoint_path:
+        With a path set, a :class:`~repro.errors.RetrievalUnavailable`
+        raised mid-run persists loop state before propagating; calling
+        again with the same arguments and path resumes bit-identically.
 
     Returns ``(adversarial, perturbation, trace)``.
     """
@@ -74,11 +81,9 @@ def simba_search(original: Video, objective: RetrievalObjective,
     perturbation = clip_video_range(base, project_linf(perturbation, tau))
 
     coords = np.flatnonzero(np.asarray(support).reshape(-1))
-    current = original.perturbed(perturbation)
-    best = objective.value(current)
-    trace = [best]
     if coords.size == 0:
-        return current, perturbation, trace
+        current = original.perturbed(perturbation)
+        return current, perturbation, [objective.value(current)]
     block = default_block_size(coords.size) if block_size is None else \
         max(1, int(block_size))
 
@@ -86,52 +91,77 @@ def simba_search(original: Video, objective: RetrievalObjective,
         batched = bool(getattr(objective, "speculate", None)) and \
             getattr(objective, "speculation_safe", False)
 
-    order = rng.permutation(coords)
-    cursor = 0
+    session = CheckpointSession(checkpoint_path, "simba", objective, rng)
+    resumed = session.resume()
+    if resumed is None:
+        current = original.perturbed(perturbation)
+        best = objective.value(current)
+        trace = [best]
+        order = rng.permutation(coords)
+        cursor = 0
+        start_iteration = 0
+    else:
+        perturbation = resumed["perturbation"]
+        best = resumed["best"]
+        trace = resumed["trace"]
+        order = resumed["order"]
+        cursor = resumed["cursor"]
+        start_iteration = resumed["iteration"]
+        current = original.perturbed(perturbation)
+
     with span("attack.search.simba", support=int(coords.size), block=block):
-        for _ in range(int(iterations)):
-            with span("attack.search.simba.iter"):
-                if cursor + block > order.size:
-                    order = rng.permutation(coords)
-                    cursor = 0
-                chosen = order[cursor : cursor + block]
-                cursor += block
-                signs = rng.choice((-1.0, 1.0), size=chosen.size)
-                # Build both ±ε candidates up front (no rng consumed),
-                # speculate the pair in one batch, commit sequentially.
-                pair = []
-                for flip in (+1.0, -1.0):
-                    candidate = perturbation.copy()
-                    candidate.reshape(-1)[chosen] += flip * signs * epsilon
-                    candidate = clip_video_range(base,
-                                                 project_linf(candidate, tau))
-                    if np.array_equal(candidate, perturbation):
-                        pair.append(None)  # projection undid the step
-                    else:
-                        pair.append((candidate, original.perturbed(candidate)))
-                live = [entry for entry in pair if entry is not None]
-                speculated = objective.speculate(
-                    [adversarial for _, adversarial in live]
-                ) if batched and len(live) > 1 else None
-                spec_index = 0
-                for entry in pair:
-                    if entry is None:
-                        continue  # skipped candidates cost no query
-                    candidate, adversarial = entry
-                    if speculated is None:
-                        value = objective.value(adversarial)
-                    else:
-                        value = objective.commit(speculated[spec_index])
-                    spec_index += 1
-                    trace.append(value)
-                    counter("attack.search.simba.evaluations").inc()
-                    if value < best or (tie_rule == "move" and value <= best):
-                        counter("attack.search.simba.accepted").inc()
-                        best = value
-                        perturbation = candidate
-                        current = adversarial
-                        break
+        for iteration in range(start_iteration, int(iterations)):
+            session.mark(iteration, perturbation=perturbation, best=best,
+                         trace=trace, order=order, cursor=cursor)
+            try:
+                with span("attack.search.simba.iter"):
+                    if cursor + block > order.size:
+                        order = rng.permutation(coords)
+                        cursor = 0
+                    chosen = order[cursor : cursor + block]
+                    cursor += block
+                    signs = rng.choice((-1.0, 1.0), size=chosen.size)
+                    # Build both ±ε candidates up front (no rng consumed),
+                    # speculate the pair in one batch, commit sequentially.
+                    pair = []
+                    for flip in (+1.0, -1.0):
+                        candidate = perturbation.copy()
+                        candidate.reshape(-1)[chosen] += flip * signs * epsilon
+                        candidate = clip_video_range(
+                            base, project_linf(candidate, tau))
+                        if np.array_equal(candidate, perturbation):
+                            pair.append(None)  # projection undid the step
+                        else:
+                            pair.append(
+                                (candidate, original.perturbed(candidate)))
+                    live = [entry for entry in pair if entry is not None]
+                    speculated = objective.speculate(
+                        [adversarial for _, adversarial in live]
+                    ) if batched and len(live) > 1 else None
+                    spec_index = 0
+                    for entry in pair:
+                        if entry is None:
+                            continue  # skipped candidates cost no query
+                        candidate, adversarial = entry
+                        if speculated is None:
+                            value = objective.value(adversarial)
+                        else:
+                            value = objective.commit(speculated[spec_index])
+                        spec_index += 1
+                        trace.append(value)
+                        counter("attack.search.simba.evaluations").inc()
+                        if value < best or \
+                                (tie_rule == "move" and value <= best):
+                            counter("attack.search.simba.accepted").inc()
+                            best = value
+                            perturbation = candidate
+                            current = adversarial
+                            break
+            except RetrievalUnavailable:
+                session.persist()
+                raise
         gauge("attack.search.simba.objective").set(best)
+    session.complete()
     return current, perturbation, trace
 
 
@@ -139,7 +169,7 @@ def nes_search(original: Video, objective: RetrievalObjective,
                support: np.ndarray, tau: float, iterations: int,
                samples: int = 4, sigma: float = 0.05, lr: float | None = None,
                rng=None, initial: np.ndarray | None = None,
-               batched: bool | None = None
+               batched: bool | None = None, checkpoint_path=None
                ) -> tuple[Video, np.ndarray, list[float]]:
     """NES gradient-estimation descent on ``T`` over ``support``.
 
@@ -152,6 +182,11 @@ def nes_search(original: Video, objective: RetrievalObjective,
     batch.  NES consumes every evaluation unconditionally and probe
     construction consumes rng before any evaluation, so the rng stream,
     query count, and trace are identical to the sequential loop.
+
+    With ``checkpoint_path`` set, a
+    :class:`~repro.errors.RetrievalUnavailable` raised mid-run persists
+    loop state before propagating; calling again with the same arguments
+    and path resumes bit-identically.
     """
     rng = seeded_rng(rng)
     base = original.pixels
@@ -160,54 +195,76 @@ def nes_search(original: Video, objective: RetrievalObjective,
     perturbation = np.zeros_like(base) if initial is None else initial.copy()
     perturbation = clip_video_range(base, project_linf(perturbation, tau))
 
-    current = original.perturbed(perturbation)
-    best = objective.value(current)
-    best_perturbation = perturbation.copy()
-    trace = [best]
-
     if batched is None:
         batched = getattr(objective, "values", None) is not None
 
-    with span("attack.search.nes", samples=int(samples)):
-        for _ in range(int(iterations)):
-            with span("attack.search.nes.iter"):
-                gradient = np.zeros_like(perturbation)
-                # Draw every probe before evaluating anything: evaluation
-                # consumes no rng, so the stream matches the sequential
-                # draw-evaluate interleaving exactly.
-                probes = [rng.normal(size=perturbation.shape) * mask
-                          for _ in range(int(samples))]
-                antithetic = []
-                for probe in probes:
-                    antithetic.append(original.perturbed(clip_video_range(
-                        base, project_linf(perturbation + sigma * probe, tau))))
-                    antithetic.append(original.perturbed(clip_video_range(
-                        base, project_linf(perturbation - sigma * probe, tau))))
-                if batched:
-                    # NES consumes all evaluations unconditionally, so a
-                    # plain counted batch preserves trace and query count.
-                    values = objective.values(antithetic)
-                else:
-                    values = [objective.value(video) for video in antithetic]
-                trace.extend(values)
-                counter("attack.search.nes.evaluations").inc(2 * int(samples))
-                for index, probe in enumerate(probes):
-                    value_plus = values[2 * index]
-                    value_minus = values[2 * index + 1]
-                    gradient += (value_plus - value_minus) * probe
-                gradient /= 2.0 * sigma * samples
+    session = CheckpointSession(checkpoint_path, "nes", objective, rng)
+    resumed = session.resume()
+    if resumed is None:
+        current = original.perturbed(perturbation)
+        best = objective.value(current)
+        best_perturbation = perturbation.copy()
+        trace = [best]
+        start_iteration = 0
+    else:
+        perturbation = resumed["perturbation"]
+        best = resumed["best"]
+        best_perturbation = resumed["best_perturbation"]
+        trace = resumed["trace"]
+        start_iteration = resumed["iteration"]
+        current = original.perturbed(perturbation)
 
-                perturbation = perturbation - lr * np.sign(gradient) * mask
-                perturbation = clip_video_range(base,
-                                                project_linf(perturbation, tau))
-                current = original.perturbed(perturbation)
-                value = objective.value(current)
-                trace.append(value)
-                counter("attack.search.nes.evaluations").inc()
-                if value < best:
-                    counter("attack.search.nes.improved").inc()
-                    best = value
-                    best_perturbation = perturbation.copy()
+    with span("attack.search.nes", samples=int(samples)):
+        for iteration in range(start_iteration, int(iterations)):
+            session.mark(iteration, perturbation=perturbation, best=best,
+                         best_perturbation=best_perturbation, trace=trace)
+            try:
+                with span("attack.search.nes.iter"):
+                    gradient = np.zeros_like(perturbation)
+                    # Draw every probe before evaluating anything:
+                    # evaluation consumes no rng, so the stream matches
+                    # the sequential draw-evaluate interleaving exactly.
+                    probes = [rng.normal(size=perturbation.shape) * mask
+                              for _ in range(int(samples))]
+                    antithetic = []
+                    for probe in probes:
+                        antithetic.append(original.perturbed(clip_video_range(
+                            base,
+                            project_linf(perturbation + sigma * probe, tau))))
+                        antithetic.append(original.perturbed(clip_video_range(
+                            base,
+                            project_linf(perturbation - sigma * probe, tau))))
+                    if batched:
+                        # NES consumes all evaluations unconditionally, so
+                        # a plain counted batch preserves trace and query
+                        # count.
+                        values = objective.values(antithetic)
+                    else:
+                        values = [objective.value(v) for v in antithetic]
+                    trace.extend(values)
+                    counter("attack.search.nes.evaluations").inc(
+                        2 * int(samples))
+                    for index, probe in enumerate(probes):
+                        value_plus = values[2 * index]
+                        value_minus = values[2 * index + 1]
+                        gradient += (value_plus - value_minus) * probe
+                    gradient /= 2.0 * sigma * samples
+
+                    perturbation = perturbation - lr * np.sign(gradient) * mask
+                    perturbation = clip_video_range(
+                        base, project_linf(perturbation, tau))
+                    current = original.perturbed(perturbation)
+                    value = objective.value(current)
+                    trace.append(value)
+                    counter("attack.search.nes.evaluations").inc()
+                    if value < best:
+                        counter("attack.search.nes.improved").inc()
+                        best = value
+                        best_perturbation = perturbation.copy()
+            except RetrievalUnavailable:
+                session.persist()
+                raise
         gauge("attack.search.nes.objective").set(best)
+    session.complete()
 
     return (original.perturbed(best_perturbation), best_perturbation, trace)

@@ -1,0 +1,78 @@
+"""Consolidated exception hierarchy for the retrieval plane.
+
+Before this module, error types were scattered across the modules that
+raised them (``QueryBudgetExceeded`` in ``retrieval.service``,
+``NodeDownError`` in ``retrieval.nodes``) and callers had to import from
+implementation files.  Everything now lives here; the old import paths
+re-export these classes, so existing code keeps working unchanged.
+
+Hierarchy
+---------
+``ReproError``
+    Root of all library-defined errors.
+``RetrievalError``
+    Anything raised by the retrieval plane.
+``QueryBudgetExceeded``
+    The attacker exhausted the service's query budget (server-side
+    throttling of suspicious accounts).
+``NodeDownError``
+    A data node is unreachable — either taken down explicitly or made
+    flaky by an installed :class:`~repro.resilience.FaultPlan`.
+``CircuitOpenError``
+    A per-node circuit breaker is open; the coordinator refuses to send
+    traffic to the node until the cooldown elapses.
+``RetrievalUnavailable``
+    A query could not be served *exactly*: every replica of at least one
+    shard is unreachable (and the gallery is configured to refuse
+    degraded answers).  Attack loops treat this as a checkpointable,
+    resumable condition — the query is refunded, not counted.
+``DeadlineExceeded``
+    A node (or the whole scatter) blew through the configured per-query
+    deadline.  A subclass of :class:`RetrievalUnavailable` because a
+    deadline miss is one way a query becomes unservable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(RuntimeError):
+    """Root of all library-defined errors."""
+
+
+class RetrievalError(ReproError):
+    """Base class for errors raised by the retrieval plane."""
+
+
+class QueryBudgetExceeded(RetrievalError):
+    """Raised when the attacker exceeds the configured query budget."""
+
+
+class NodeDownError(RetrievalError):
+    """Raised when a downed (or fault-injected) node is queried."""
+
+
+class CircuitOpenError(RetrievalError):
+    """Raised when a node's circuit breaker short-circuits a request."""
+
+
+class RetrievalUnavailable(RetrievalError):
+    """Raised when a query cannot be served exactly by the live replicas.
+
+    Services refund the query's accounting when this propagates, so a
+    resumed attack sees the same query count as an uninterrupted one.
+    """
+
+
+class DeadlineExceeded(RetrievalUnavailable):
+    """Raised when a query misses its configured deadline."""
+
+
+__all__ = [
+    "ReproError",
+    "RetrievalError",
+    "QueryBudgetExceeded",
+    "NodeDownError",
+    "CircuitOpenError",
+    "RetrievalUnavailable",
+    "DeadlineExceeded",
+]

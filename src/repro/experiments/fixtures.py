@@ -70,7 +70,7 @@ def _build_victim(dataset: SyntheticVideoDataset, backbone: str, loss: str,
     extractor.requires_grad_(False)
     engine = RetrievalEngine(extractor, num_nodes=scale.num_nodes)
     engine.index_videos(dataset.train)
-    service = RetrievalService(engine, m=scale.m)
+    service = RetrievalService.build(engine, m=scale.m)
     return VictimSystem(engine=engine, service=service,
                         gallery_videos=list(dataset.train), history=history)
 
@@ -101,7 +101,7 @@ def victim_for(dataset: SyntheticVideoDataset, backbone: str, loss: str,
             [v.label for v in dataset.train],
             gallery_features,
         )
-        service = RetrievalService(engine, m=scale.m)
+        service = RetrievalService.build(engine, m=scale.m)
         history = TrainingHistory(json.loads(meta_path.read_text())["losses"]) \
             if meta_path.exists() else TrainingHistory()
         return VictimSystem(engine=engine, service=service,

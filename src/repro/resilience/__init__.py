@@ -1,0 +1,55 @@
+"""Fault injection and recovery for the distributed retrieval plane.
+
+The paper's victim (Fig. 1) is a distributed system — gallery videos
+live on many data nodes — and query-heavy attacks (SparseQuery, HEU,
+QAIR-style loops) stress it with thousands of sequential queries.  This
+package makes that plane production-shaped:
+
+* :mod:`repro.resilience.faults` — a deterministic, seeded
+  :class:`FaultPlan` that scripts node outages, flakiness, slowness, and
+  score corruption, installed via a context manager;
+* :mod:`repro.resilience.retry` — per-node retry with exponential
+  backoff and deterministic jitter;
+* :mod:`repro.resilience.breaker` — per-node circuit breakers
+  (closed/open/half-open with cooldown);
+* :mod:`repro.resilience.checkpoint` — checkpoint/resume for attack
+  loops so a mid-run ``RetrievalUnavailable`` is survivable and the
+  resumed trace is bit-identical;
+* :mod:`repro.resilience.config` — the frozen config dataclasses that
+  the redesigned retrieval API (``RetrievalService.build``,
+  ``RetrievalEngine(resilience=...)``) accepts.
+
+Replication and quorum-aware merging live in
+:mod:`repro.retrieval.nodes` (they are placement concerns), configured
+through :class:`ResilienceConfig.replication`.
+"""
+
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.resilience.checkpoint import (
+    AttackCheckpoint,
+    CheckpointSession,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.config import BreakerPolicy, ResilienceConfig, RetryPolicy
+from repro.resilience.faults import ANY_NODE, FaultEvent, FaultPlan, NodeFaultSpec
+from repro.resilience.retry import RetryExecutor
+
+__all__ = [
+    "ANY_NODE",
+    "AttackCheckpoint",
+    "BreakerPolicy",
+    "CLOSED",
+    "CheckpointSession",
+    "CircuitBreaker",
+    "FaultEvent",
+    "FaultPlan",
+    "HALF_OPEN",
+    "NodeFaultSpec",
+    "OPEN",
+    "ResilienceConfig",
+    "RetryExecutor",
+    "RetryPolicy",
+    "load_checkpoint",
+    "save_checkpoint",
+]

@@ -1,0 +1,90 @@
+"""Deterministic per-node retry with exponential backoff + jitter.
+
+Only *transient* retrieval faults are retried: :class:`NodeDownError`
+(flaky node, outage window) and :class:`DeadlineExceeded` (slow attempt;
+the next attempt draws a fresh latency).  Budget errors and breaker
+short-circuits propagate immediately.
+
+Jitter is drawn from a generator seeded by ``(policy.seed, node_id)``,
+so a given configuration always produces the same backoff timeline —
+the property the fault-plan determinism tests assert end to end.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+from repro.errors import DeadlineExceeded, NodeDownError
+from repro.obs import counter, histogram
+from repro.resilience.config import RetryPolicy
+from repro.utils.seeding import SeedSequence
+
+T = TypeVar("T")
+
+#: Exceptions worth another attempt.
+RETRYABLE = (NodeDownError, DeadlineExceeded)
+
+#: Backoff delays are milliseconds-flavoured at simulation scale.
+BACKOFF_BUCKETS = (1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0)
+
+
+class RetryExecutor:
+    """Runs node calls under a :class:`RetryPolicy`.
+
+    One executor per node: the jitter stream is part of the node's
+    deterministic identity, and per-node retry counters label cleanly.
+    """
+
+    def __init__(self, policy: RetryPolicy | None = None, node_id: str = "",
+                 sleep: Callable[[float], None] | None = None) -> None:
+        self.policy = policy or RetryPolicy()
+        self.node_id = str(node_id)
+        self.sleep = sleep if sleep is not None else time.sleep
+        self._rng = SeedSequence(self.policy.seed).rng("retry", self.node_id)
+        #: Total simulated+real seconds spent backing off (introspection).
+        self.backoff_spent_s = 0.0
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before 1-indexed ``attempt`` (0.0 for the first)."""
+        if attempt <= 1:
+            return 0.0
+        base = min(self.policy.backoff_max_s,
+                   self.policy.backoff_base_s * 2.0 ** (attempt - 2))
+        return base * (1.0 + self.policy.jitter * float(self._rng.random()))
+
+    def run(self, fn: Callable[[], T]) -> T:
+        """Call ``fn`` up to ``max_attempts`` times; re-raise the last error.
+
+        The first attempt is a bare call — the backoff/bookkeeping loop
+        is only entered after a transient failure, keeping the fault-free
+        fast path at near-zero overhead.
+        """
+        try:
+            return fn()
+        except RETRYABLE as exc:
+            return self._resume(fn, exc)
+
+    def _resume(self, fn: Callable[[], T], first_error: Exception) -> T:
+        """Attempts ``2..max_attempts`` after a failed first attempt."""
+        last = first_error
+        for attempt in range(2, self.policy.max_attempts + 1):
+            counter("resilience.retries", node=self.node_id).inc()
+            delay = self.backoff_s(attempt)
+            if delay > 0.0:
+                histogram("resilience.retry_backoff_s",
+                          buckets=BACKOFF_BUCKETS,
+                          node=self.node_id).observe(delay)
+                self.backoff_spent_s += delay
+                self.sleep(delay)
+            try:
+                result = fn()
+            except RETRYABLE as exc:
+                last = exc
+                continue
+            counter("resilience.retry_successes", node=self.node_id).inc()
+            return result
+        raise last
+
+
+__all__ = ["RetryExecutor", "RETRYABLE", "BACKOFF_BUCKETS"]

@@ -20,12 +20,21 @@ from repro.retrieval.similarity import (
     hamming_batch,
     negative_l2_batch,
 )
+from repro.errors import (
+    DeadlineExceeded,
+    NodeDownError,
+    QueryBudgetExceeded,
+    RetrievalError,
+    RetrievalUnavailable,
+)
 from repro.retrieval.lists import RetrievalEntry, RetrievalList
+from repro.retrieval.protocol import Index
 from repro.retrieval.index import FeatureIndex
 from repro.retrieval.ann import IVFIndex
-from repro.retrieval.nodes import DataNode, ShardedGallery, NodeDownError
+from repro.retrieval.config import Preprocessor, ServiceConfig
+from repro.retrieval.nodes import DataNode, ShardedGallery
 from repro.retrieval.engine import RetrievalEngine
-from repro.retrieval.service import RetrievalService, QueryBudgetExceeded
+from repro.retrieval.service import RetrievalService
 
 __all__ = [
     "negative_l2",
@@ -39,12 +48,18 @@ __all__ = [
     "create_similarity",
     "RetrievalEntry",
     "RetrievalList",
+    "Index",
     "FeatureIndex",
     "IVFIndex",
     "DataNode",
     "ShardedGallery",
     "NodeDownError",
+    "DeadlineExceeded",
+    "RetrievalError",
+    "RetrievalUnavailable",
     "RetrievalEngine",
     "RetrievalService",
+    "ServiceConfig",
+    "Preprocessor",
     "QueryBudgetExceeded",
 ]

@@ -64,8 +64,13 @@ class IVFIndex:
         self._labels.append(int(label))
         self._centroids = None  # mark dirty
 
-    def add_batch(self, ids, labels, features) -> None:
-        """Buffer many rows."""
+    def add_batch(self, ids: list[str], labels: list[int],
+                  features: np.ndarray) -> None:
+        """Buffer many rows (``features`` is ``(n, d)``).
+
+        Mirrors :meth:`FeatureIndex.add_batch`: the row count is the min
+        of the three argument lengths (zip semantics).
+        """
         for video_id, label, feature in zip(ids, labels, features):
             self.add(video_id, label, feature)
 
@@ -106,6 +111,20 @@ class IVFIndex:
                            self._labels[candidates[i]], float(scores[i]))
             for i in order
         ]
+
+    def search_batch(self, queries: np.ndarray, k: int
+                     ) -> list[list[RetrievalEntry]]:
+        """Top-k for each row of a ``(B, d)`` query matrix.
+
+        Cell probing is inherently per-query (each query probes its own
+        ``nprobe`` cells), so this is a loop over :meth:`search` — the
+        point is :class:`~repro.retrieval.protocol.Index` conformance,
+        not a vectorized fast path.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        queries = queries.reshape(queries.shape[0], -1) if queries.ndim > 1 \
+            else queries.reshape(1, -1)
+        return [self.search(query, k) for query in queries]
 
     def labels_of(self) -> list[int]:
         """All stored labels."""

@@ -1,0 +1,56 @@
+"""Service-facing configuration for the black-box retrieval facade.
+
+:class:`ServiceConfig` replaces the kwarg sprawl that
+``RetrievalService.__init__`` had accumulated (``m``, ``query_budget``,
+``preprocessor``, ``quantize_queries``, plus the retry/replication knobs
+this PR adds through :class:`~repro.resilience.ResilienceConfig`).  The
+old kwargs still work — with a :class:`DeprecationWarning` — but new
+code should go through :meth:`RetrievalService.build`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.video.types import Video
+
+#: A defense preprocessor maps a query video to the video actually embedded.
+Preprocessor = Callable[[Video], Video]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the attacker-facing service surface.
+
+    Parameters
+    ----------
+    m:
+        Length of the returned retrieval list ``R^m(v)``.
+    query_budget:
+        Hard cap on counted queries (``None`` = unlimited); exceeding it
+        raises :class:`~repro.errors.QueryBudgetExceeded`.
+    preprocessor:
+        Optional defense transform applied to every query video.
+    quantize_queries:
+        Round query pixels to 8-bit before embedding, modelling a real
+        upload API (the paper's τ is specified in 8-bit units).
+    """
+
+    m: int = 10
+    query_budget: int | None = None
+    preprocessor: Preprocessor | None = None
+    quantize_queries: bool = False
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise ValueError("m (returned list length) must be positive")
+        if self.query_budget is not None and self.query_budget < 0:
+            raise ValueError("query_budget must be non-negative")
+
+    def with_(self, **changes) -> "ServiceConfig":
+        """A copy with ``changes`` applied (dataclasses.replace sugar)."""
+        return replace(self, **changes)
+
+
+__all__ = ["ServiceConfig", "Preprocessor"]

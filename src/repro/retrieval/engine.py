@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.models.feature_extractor import FeatureExtractor
 from repro.perf.cache import EmbeddingCache, content_key
+from repro.resilience.config import ResilienceConfig
 from repro.retrieval.lists import RetrievalList
 from repro.retrieval.nodes import ShardedGallery
 from repro.retrieval.similarity import SimilarityFn, create_similarity, negative_l2
@@ -29,12 +30,28 @@ class RetrievalEngine:
 
     def __init__(self, extractor: FeatureExtractor,
                  similarity: SimilarityFn | str = negative_l2,
-                 num_nodes: int = 4, cache_size: int | None = None) -> None:
+                 num_nodes: int = 4, cache_size: int | None = None,
+                 resilience: ResilienceConfig | None = None) -> None:
         if isinstance(similarity, str):
             similarity = create_similarity(similarity)
         self.extractor = extractor
-        self.gallery = ShardedGallery(num_nodes=num_nodes, similarity=similarity)
+        self.gallery = ShardedGallery(num_nodes=num_nodes,
+                                      similarity=similarity,
+                                      resilience=resilience)
         self.embedding_cache = EmbeddingCache(cache_size)
+
+    def configure_resilience(self, resilience: ResilienceConfig | None) -> None:
+        """Install (or clear) a resilience config on the gallery.
+
+        Replication is a placement property, so changing it requires an
+        empty gallery; runtime knobs (retry, breaker, deadlines, hedging)
+        can change at any time.
+        """
+        self.gallery.set_resilience(resilience)
+
+    @property
+    def resilience(self) -> ResilienceConfig | None:
+        return self.gallery.resilience
 
     # -------------------------------------------------------------- #
     # Embedding (cached)

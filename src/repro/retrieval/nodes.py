@@ -5,8 +5,23 @@ distributed data nodes that are close to [the query] in the feature
 space".  :class:`ShardedGallery` reproduces that topology in-process: the
 gallery is sharded across ``num_nodes`` :class:`DataNode`s and a
 coordinator performs scatter/gather top-k merging.  Nodes can be taken
-down to test degraded retrieval (failure injection), and the coordinator
-keeps a ``networkx`` star topology for introspection.
+down to test degraded retrieval, a
+:class:`~repro.resilience.FaultPlan` can script richer incidents
+(flakiness, slowness, score corruption, outage windows), and the
+coordinator keeps a ``networkx`` star topology for introspection.
+
+With a :class:`~repro.resilience.ResilienceConfig` the coordinator turns
+into a self-healing retrieval plane:
+
+* each row is stored on ``replication`` consecutive nodes, and the
+  quorum-aware merge keeps retrieval **exact** while at least one
+  replica of every shard is live;
+* per-node calls run under retry-with-backoff and a circuit breaker;
+* slow nodes are dropped from the merge when faster replicas cover
+  their shards (hedged scatter reads);
+* when coverage is lost the query either degrades (pre-resilience
+  behaviour) or raises :class:`~repro.errors.RetrievalUnavailable` so
+  attack loops can checkpoint and resume.
 """
 
 from __future__ import annotations
@@ -17,7 +32,11 @@ import time
 import networkx as nx
 import numpy as np
 
+from repro.errors import DeadlineExceeded, NodeDownError, RetrievalUnavailable
 from repro.obs import counter, histogram, span
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.retry import RetryExecutor
 from repro.retrieval.index import FeatureIndex
 from repro.retrieval.lists import RetrievalEntry
 from repro.retrieval.similarity import SimilarityFn, negative_l2
@@ -26,18 +45,22 @@ from repro.retrieval.similarity import SimilarityFn, negative_l2
 NODE_LATENCY_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0)
 
 
-class NodeDownError(RuntimeError):
-    """Raised when a downed node is queried directly."""
-
-
 class DataNode:
-    """One storage shard holding a :class:`FeatureIndex`."""
+    """One storage shard holding a :class:`FeatureIndex`.
+
+    An installed ``fault_injector`` (usually a
+    :class:`~repro.resilience.FaultPlan`) is consulted on every search
+    attempt: it may raise :class:`NodeDownError`, add virtual latency
+    (exposed as ``last_injected_latency_s``), or corrupt scores.
+    """
 
     def __init__(self, node_id: str, similarity: SimilarityFn = negative_l2) -> None:
         self.node_id = str(node_id)
         self.index = FeatureIndex(similarity)
         self.alive = True
         self.search_count = 0
+        self.fault_injector = None
+        self.last_injected_latency_s = 0.0
 
     def __len__(self) -> int:
         return len(self.index)
@@ -46,22 +69,45 @@ class DataNode:
         """Store one gallery row on this node."""
         self.index.add(video_id, label, feature)
 
-    def search(self, query: np.ndarray, k: int) -> list[RetrievalEntry]:
-        """Local top-k search; raises :class:`NodeDownError` when down."""
+    def add_batch(self, ids: list[str], labels: list[int],
+                  features: np.ndarray) -> None:
+        """Store many gallery rows in one pass."""
+        self.index.add_batch(ids, labels, features)
+
+    def _pre_search(self) -> float:
+        """Shared down/fault checks; returns injected latency."""
         if not self.alive:
             counter("gallery.node_down_errors", node=self.node_id).inc()
             raise NodeDownError(f"node {self.node_id} is down")
+        injected = 0.0
+        if self.fault_injector is not None:
+            injected = self.fault_injector.on_attempt(self.node_id)
+        self.last_injected_latency_s = injected
+        return injected
+
+    def search(self, query: np.ndarray, k: int) -> list[RetrievalEntry]:
+        """Local top-k search; raises :class:`NodeDownError` when down."""
+        self._pre_search()
         self.search_count += 1
-        return self.index.search(query, k)
+        entries = self.index.search(query, k)
+        if self.fault_injector is not None:
+            entries = self.fault_injector.transform(self.node_id, entries)
+        return entries
 
     def search_batch(self, queries: np.ndarray, k: int
                      ) -> list[list[RetrievalEntry]]:
         """Local top-k for ``(B, d)`` queries in one vectorized pass."""
-        if not self.alive:
-            counter("gallery.node_down_errors", node=self.node_id).inc()
-            raise NodeDownError(f"node {self.node_id} is down")
+        self._pre_search()
         self.search_count += len(queries)
-        return self.index.search_batch(queries, k)
+        results = self.index.search_batch(queries, k)
+        if self.fault_injector is not None:
+            results = [self.fault_injector.transform(self.node_id, entries)
+                       for entries in results]
+        return results
+
+    def labels_of(self) -> list[int]:
+        """All labels stored on this node."""
+        return self.index.labels_of()
 
     def take_down(self) -> None:
         """Simulate a node failure."""
@@ -75,25 +121,86 @@ class DataNode:
 class ShardedGallery:
     """Coordinator over ``num_nodes`` data nodes with scatter/gather merge.
 
-    Rows are assigned to shards round-robin at insertion time.  A search
-    fans out to all live nodes, takes each node's local top-k, and merges
-    the partial lists into a global top-k.  Downed nodes are skipped, so
-    results degrade gracefully rather than failing — matching how a
-    replicated production system keeps serving under partial failure.
+    Rows are assigned to shards round-robin at insertion time; with
+    ``resilience.replication = r`` each row additionally lands on the
+    next ``r - 1`` nodes.  A search fans out to all live nodes, takes
+    each node's local top-k, and merges the partial lists into a global
+    top-k (deduplicating replicas with a quorum score vote).  Downed
+    nodes are skipped when their shards are covered elsewhere, so
+    results degrade gracefully — or stay exact under replication —
+    matching how a replicated production system keeps serving under
+    partial failure.
     """
 
     def __init__(self, num_nodes: int = 4,
-                 similarity: SimilarityFn = negative_l2) -> None:
+                 similarity: SimilarityFn = negative_l2,
+                 resilience: ResilienceConfig | None = None) -> None:
         if num_nodes < 1:
             raise ValueError("gallery needs at least one node")
+        self.similarity = similarity
         self.nodes = [DataNode(f"node-{i}", similarity) for i in range(num_nodes)]
         self._next_shard = 0
+        self._row_count = 0
+        self._labels: list[int] = []
+        self._shard_rows = [0] * num_nodes
+        self.fault_plan = None
+        self.replication = 1
+        self.resilience: ResilienceConfig | None = None
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._retries: dict[str, RetryExecutor] = {}
+        self.set_resilience(resilience)
         self.topology = nx.star_graph(num_nodes)
         relabel = {0: "coordinator"}
         relabel.update({i + 1: node.node_id for i, node in enumerate(self.nodes)})
         self.topology = nx.relabel_nodes(self.topology, relabel)
 
+    # -------------------------------------------------------------- #
+    # Resilience configuration
+    # -------------------------------------------------------------- #
+    def set_resilience(self, config: ResilienceConfig | None) -> None:
+        """(Re)configure retry/breaker/replication behaviour.
+
+        Replication is a *placement* property: it can only change while
+        the gallery is still empty.
+        """
+        replication = 1 if config is None else min(int(config.replication),
+                                                   len(self.nodes))
+        if self._row_count and replication != self.replication:
+            raise ValueError(
+                "cannot change replication on a populated gallery "
+                f"(current r={self.replication}, requested r={replication})")
+        self.resilience = config
+        self.replication = replication
+        self._breakers = {}
+        self._retries = {}
+        if config is not None:
+            if config.breaker is not None:
+                self._breakers = {
+                    node.node_id: CircuitBreaker(config.breaker,
+                                                 node_id=node.node_id)
+                    for node in self.nodes
+                }
+            if config.retry is not None:
+                self._retries = {
+                    node.node_id: RetryExecutor(config.retry,
+                                                node_id=node.node_id)
+                    for node in self.nodes
+                }
+        # Per-node scatter plan, precomputed so the hot path does no
+        # dict lookups: [(node, breaker | None, retry | None), ...].
+        self._node_plan = [
+            (node, self._breakers.get(node.node_id),
+             self._retries.get(node.node_id))
+            for node in self.nodes
+        ]
+
     def __len__(self) -> int:
+        """Logical gallery size (replicas are not double-counted)."""
+        return self._row_count
+
+    @property
+    def physical_rows(self) -> int:
+        """Stored rows across every shard, replicas included."""
         return sum(len(node) for node in self.nodes)
 
     @property
@@ -104,18 +211,31 @@ class ShardedGallery:
     def live_nodes(self) -> list[DataNode]:
         return [node for node in self.nodes if node.alive]
 
+    def _replica_nodes(self, primary: int) -> list[int]:
+        """Node indexes storing rows whose primary shard is ``primary``."""
+        count = len(self.nodes)
+        return [(primary + t) % count for t in range(self.replication)]
+
+    # -------------------------------------------------------------- #
+    # Ingest
+    # -------------------------------------------------------------- #
     def add(self, video_id: str, label: int, feature: np.ndarray) -> None:
-        """Insert one row on the next shard (round-robin placement)."""
-        self.nodes[self._next_shard].add(video_id, label, feature)
-        self._next_shard = (self._next_shard + 1) % len(self.nodes)
+        """Insert one row on the next shard and its replicas."""
+        primary = self._next_shard
+        for node_index in self._replica_nodes(primary):
+            self.nodes[node_index].add(video_id, label, feature)
+        self._shard_rows[primary] += 1
+        self._labels.append(int(label))
+        self._row_count += 1
+        self._next_shard = (primary + 1) % len(self.nodes)
 
     def add_batch(self, ids: list[str], labels: list[int],
                   features: np.ndarray) -> None:
-        """Insert many rows, spread across shards.
+        """Insert many rows, spread across shards (and their replicas).
 
-        Rows land on exactly the shards sequential :meth:`add` calls would
-        pick (round-robin from the current cursor), but each shard ingests
-        its slice in one :meth:`FeatureIndex.add_batch` call.
+        Rows land on exactly the shards sequential :meth:`add` calls
+        would pick (round-robin from the current cursor), but each shard
+        ingests its slice in one :meth:`FeatureIndex.add_batch` call.
         """
         count = min(len(ids), len(labels), len(features))
         if count == 0:
@@ -123,36 +243,36 @@ class ShardedGallery:
         features = np.asarray(features[:count], dtype=np.float64)
         num_nodes = len(self.nodes)
         start = self._next_shard
-        for node_offset in range(min(num_nodes, count)):
-            node = self.nodes[(start + node_offset) % num_nodes]
-            rows = range(node_offset, count, num_nodes)
-            node.index.add_batch(
-                [ids[row] for row in rows],
-                [labels[row] for row in rows],
-                features[node_offset::num_nodes],
-            )
+        for replica in range(self.replication):
+            shifted = (start + replica) % num_nodes
+            for node_offset in range(min(num_nodes, count)):
+                node = self.nodes[(shifted + node_offset) % num_nodes]
+                rows = range(node_offset, count, num_nodes)
+                node.index.add_batch(
+                    [ids[row] for row in rows],
+                    [labels[row] for row in rows],
+                    features[node_offset::num_nodes],
+                )
+        for row in range(count):
+            self._shard_rows[(start + row) % num_nodes] += 1
+        self._labels.extend(int(label) for label in labels[:count])
+        self._row_count += count
         self._next_shard = (start + count) % num_nodes
 
+    # -------------------------------------------------------------- #
+    # Scatter/gather search
+    # -------------------------------------------------------------- #
     def search(self, query: np.ndarray, k: int) -> list[RetrievalEntry]:
         """Scatter/gather top-k across live nodes, best first."""
+        if self.fault_plan is not None:
+            self.fault_plan.advance(1)
         with span("gallery.search", k=int(k)):
-            partials: list[list[RetrievalEntry]] = []
-            for node in self.nodes:
-                if not node.alive:
-                    counter("gallery.node_skipped", node=node.node_id).inc()
-                    continue
-                start = time.perf_counter()
-                partials.append(node.search(query, k))
-                histogram("gallery.node_latency_s",
-                          buckets=NODE_LATENCY_BUCKETS,
-                          node=node.node_id).observe(
-                              time.perf_counter() - start)
-            merged = heapq.merge(*partials, key=lambda entry: -entry.score)
-            top = list(merged)[: int(k)]
+            scatter = self._scatter_plain if self.resilience is None \
+                else self._scatter_resilient
+            partials = scatter(lambda node: [node.search(query, k)])
+            merged = self._merge([lists[0] for lists in partials], k)
             counter("gallery.searches").inc()
-            if len(partials) < len(self.nodes):
-                counter("gallery.degraded_searches").inc()
-            return top
+            return merged
 
     def search_batch(self, queries: np.ndarray, k: int
                      ) -> list[list[RetrievalEntry]]:
@@ -164,31 +284,171 @@ class ShardedGallery:
         """
         queries = np.asarray(queries, dtype=np.float64)
         batch = queries.shape[0]
+        if self.fault_plan is not None:
+            self.fault_plan.advance(batch)
         with span("gallery.search_batch", k=int(k), batch=batch):
-            node_results: list[list[list[RetrievalEntry]]] = []
-            for node in self.nodes:
-                if not node.alive:
-                    counter("gallery.node_skipped", node=node.node_id).inc()
-                    continue
-                start = time.perf_counter()
-                node_results.append(node.search_batch(queries, k))
-                histogram("gallery.node_latency_s",
-                          buckets=NODE_LATENCY_BUCKETS,
-                          node=node.node_id).observe(
-                              time.perf_counter() - start)
-            merged_lists = []
-            for query_idx in range(batch):
-                partials = [results[query_idx] for results in node_results]
-                merged = heapq.merge(*partials, key=lambda entry: -entry.score)
-                merged_lists.append(list(merged)[: int(k)])
+            scatter = self._scatter_plain if self.resilience is None \
+                else self._scatter_resilient
+            node_results = scatter(
+                lambda node: node.search_batch(queries, k), weight=batch)
+            merged_lists = [
+                self._merge([results[query_idx] for results in node_results],
+                            k)
+                for query_idx in range(batch)
+            ]
             counter("gallery.searches").inc(batch)
-            if len(node_results) < len(self.nodes):
-                counter("gallery.degraded_searches").inc(batch)
             return merged_lists
 
-    def labels_of(self) -> list[int]:
-        """All labels across every shard (including downed ones)."""
-        labels: list[int] = []
+    # -------------------------------------------------------------- #
+    # Scatter strategies
+    # -------------------------------------------------------------- #
+    def _scatter_plain(self, call, weight: int = 1) -> list:
+        """Pre-resilience behaviour: skip failing nodes, serve the rest."""
+        partials = []
         for node in self.nodes:
-            labels.extend(node.index.labels_of())
-        return labels
+            if not node.alive:
+                counter("gallery.node_skipped", node=node.node_id).inc()
+                continue
+            start = time.perf_counter()
+            try:
+                results = call(node)
+            except NodeDownError:
+                # A fault injector flaked the node mid-scatter; without a
+                # resilience config this degrades exactly like a downed
+                # node instead of failing the whole query.
+                counter("gallery.node_skipped", node=node.node_id).inc()
+                continue
+            partials.append(results)
+            histogram("gallery.node_latency_s",
+                      buckets=NODE_LATENCY_BUCKETS,
+                      node=node.node_id).observe(
+                          time.perf_counter() - start)
+        if len(partials) < len(self.nodes):
+            counter("gallery.degraded_searches").inc(weight)
+        return partials
+
+    def _scatter_resilient(self, call, weight: int = 1) -> list:
+        """Retry + breaker + deadline + hedged scatter over all nodes."""
+        config = self.resilience
+        results: dict[int, list] = {}
+        latencies: dict[int, float] = {}
+        for index, (node, breaker, retry) in enumerate(self._node_plan):
+            if breaker is not None and not breaker.allow():
+                counter("resilience.breaker_short_circuits",
+                        node=node.node_id).inc()
+                continue
+            try:
+                value, latency = self._attempt_node(node, call, retry)
+            except (NodeDownError, DeadlineExceeded):
+                if breaker is not None:
+                    breaker.record_failure()
+                counter("gallery.node_skipped", node=node.node_id).inc()
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            results[index] = value
+            latencies[index] = latency
+            histogram("gallery.node_latency_s",
+                      buckets=NODE_LATENCY_BUCKETS,
+                      node=node.node_id).observe(latency)
+
+        # Hedged reads: drop slow nodes whose shards faster replicas
+        # already cover (the replica responses are the hedge).
+        if config.hedge_after_s is not None:
+            for index in sorted(results):
+                if latencies[index] <= config.hedge_after_s:
+                    continue
+                node_id = self.nodes[index].node_id
+                if self._covers_all_shards(set(results) - {index}):
+                    del results[index]
+                    counter("resilience.hedge_wins", node=node_id).inc()
+                else:
+                    counter("resilience.hedge_losses", node=node_id).inc()
+
+        if not self._covers_all_shards(set(results)):
+            counter("resilience.uncovered_queries").inc(weight)
+            if config.on_data_loss == "raise":
+                missing = [
+                    primary for primary in range(len(self.nodes))
+                    if self._shard_rows[primary]
+                    and not any(replica in results
+                                for replica in self._replica_nodes(primary))
+                ]
+                raise RetrievalUnavailable(
+                    f"no live replica for shard(s) {missing}")
+            counter("gallery.degraded_searches").inc(weight)
+        elif len(results) < len(self.nodes):
+            counter("resilience.degraded_covered_queries").inc(weight)
+        return [results[index] for index in sorted(results)]
+
+    def _attempt_node(self, node: DataNode, call, retry: RetryExecutor | None):
+        """One node's scatter leg under retry and the per-query deadline."""
+        config = self.resilience
+
+        def attempt():
+            start = time.perf_counter()
+            value = call(node)
+            latency = (time.perf_counter() - start
+                       + node.last_injected_latency_s)
+            if config.deadline_s is not None and latency > config.deadline_s:
+                counter("resilience.deadline_exceeded",
+                        node=node.node_id).inc()
+                raise DeadlineExceeded(
+                    f"node {node.node_id} answered in {latency:.4f}s "
+                    f"(> deadline {config.deadline_s}s)")
+            return value, latency
+
+        if retry is None:
+            return attempt()
+        return retry.run(attempt)
+
+    def _covers_all_shards(self, available: set[int]) -> bool:
+        """Whether every non-empty shard has a replica in ``available``."""
+        if len(available) == len(self.nodes):
+            return True  # every node answered — trivially covered
+        return all(
+            rows == 0
+            or any(replica in available
+                   for replica in self._replica_nodes(primary))
+            for primary, rows in enumerate(self._shard_rows)
+        )
+
+    # -------------------------------------------------------------- #
+    # Merge
+    # -------------------------------------------------------------- #
+    def _merge(self, partials: list[list[RetrievalEntry]],
+               k: int) -> list[RetrievalEntry]:
+        """Merge per-node top-k lists into the global top-k, best first.
+
+        Without replication this is a plain ordered merge.  With
+        replication, the same row may arrive from several replicas; the
+        merge deduplicates by video id and resolves score disagreements
+        (a corrupt replica) by majority vote — the first-seen score wins
+        ties, and a disagreement increments
+        ``resilience.quorum_mismatches``.
+        """
+        merged = heapq.merge(*partials, key=lambda entry: -entry.score)
+        if self.replication == 1:
+            return list(merged)[: int(k)]
+        votes: dict[str, dict[float, int]] = {}
+        first: dict[str, tuple[int, RetrievalEntry]] = {}
+        for position, entry in enumerate(merged):
+            votes.setdefault(entry.video_id, {})
+            scores = votes[entry.video_id]
+            scores[entry.score] = scores.get(entry.score, 0) + 1
+            if entry.video_id not in first:
+                first[entry.video_id] = (position, entry)
+        resolved = []
+        for video_id, scores in votes.items():
+            if len(scores) > 1:
+                counter("resilience.quorum_mismatches").inc()
+            score = max(scores.items(), key=lambda item: item[1])[0]
+            position, entry = first[video_id]
+            resolved.append((-score, position,
+                             RetrievalEntry(video_id, entry.label, score)))
+        resolved.sort(key=lambda item: (item[0], item[1]))
+        return [entry for _, _, entry in resolved[: int(k)]]
+
+    def labels_of(self) -> list[int]:
+        """All logical labels, in insertion order (replicas deduped)."""
+        return list(self._labels)

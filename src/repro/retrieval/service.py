@@ -6,6 +6,15 @@ black-box attacks), optionally enforces a query budget, and can wrap the
 engine with a defense that preprocesses inputs and/or flags adversarial
 queries.
 
+Construction
+------------
+The preferred constructor is :meth:`RetrievalService.build`, which takes
+a :class:`~repro.retrieval.config.ServiceConfig` (plus an optional
+:class:`~repro.resilience.ResilienceConfig` applied to the engine's
+gallery).  The legacy kwargs (``m``, ``query_budget``, ``preprocessor``,
+``quantize_queries``) still work on ``__init__`` but emit a
+:class:`DeprecationWarning`.
+
 Batched evaluation
 ------------------
 ``query_batch`` embeds many candidates in one model forward while keeping
@@ -19,23 +28,38 @@ speculation computes results without touching the query counter, and the
 caller commits exactly the evaluations a sequential attacker would have
 issued.  Speculation requires a stateless service (no preprocessor) —
 a stateful defense must never observe phantom queries.
+
+Unavailability
+--------------
+When the resilient gallery cannot serve a query exactly it raises
+:class:`~repro.errors.RetrievalUnavailable`.  The service *refunds* that
+query's accounting before propagating, so an attack that checkpoints,
+waits out the outage, and resumes sees exactly the query count an
+uninterrupted run would have.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import warnings
+from dataclasses import fields
 
+from repro.errors import QueryBudgetExceeded, RetrievalUnavailable
 from repro.obs import counter, gauge, span
+from repro.resilience.config import ResilienceConfig
+from repro.retrieval.config import Preprocessor, ServiceConfig
 from repro.retrieval.engine import RetrievalEngine
 from repro.retrieval.lists import RetrievalList
 from repro.video.types import Video
 
-#: A defense preprocessor maps a query video to the video actually embedded.
-Preprocessor = Callable[[Video], Video]
+__all__ = [
+    "RetrievalService",
+    "ServiceConfig",
+    "QueryBudgetExceeded",
+    "Preprocessor",
+]
 
-
-class QueryBudgetExceeded(RuntimeError):
-    """Raised when the attacker exceeds the configured query budget."""
+#: Sentinel distinguishing "kwarg not passed" from an explicit default.
+_UNSET = object()
 
 
 class RetrievalService:
@@ -47,18 +71,71 @@ class RetrievalService:
     exactly this reason).
     """
 
-    def __init__(self, engine: RetrievalEngine, m: int = 10,
-                 query_budget: int | None = None,
-                 preprocessor: Preprocessor | None = None,
-                 quantize_queries: bool = False) -> None:
-        if m < 1:
-            raise ValueError("m (returned list length) must be positive")
+    def __init__(self, engine: RetrievalEngine, m=_UNSET, query_budget=_UNSET,
+                 preprocessor=_UNSET, quantize_queries=_UNSET, *,
+                 config: ServiceConfig | None = None) -> None:
+        legacy = {
+            name: value
+            for name, value in (("m", m), ("query_budget", query_budget),
+                                ("preprocessor", preprocessor),
+                                ("quantize_queries", quantize_queries))
+            if value is not _UNSET
+        }
+        if legacy:
+            if config is not None:
+                raise TypeError(
+                    "pass either a ServiceConfig or legacy kwargs, not both")
+            warnings.warn(
+                "RetrievalService(engine, m=..., query_budget=..., ...) is "
+                "deprecated; use RetrievalService.build(engine, "
+                "ServiceConfig(...)) instead",
+                DeprecationWarning, stacklevel=2)
+            config = ServiceConfig(**legacy)
+        self.config = config if config is not None else ServiceConfig()
         self.engine = engine
-        self.m = int(m)
-        self.query_budget = query_budget
-        self.preprocessor = preprocessor
-        self.quantize_queries = bool(quantize_queries)
         self.query_count = 0
+
+    @classmethod
+    def build(cls, engine: RetrievalEngine,
+              config: ServiceConfig | None = None, *,
+              resilience: ResilienceConfig | None = None,
+              **overrides) -> "RetrievalService":
+        """The redesigned constructor path.
+
+        ``overrides`` are :class:`ServiceConfig` field names applied on
+        top of ``config`` (``build(engine, m=8)`` is the idiomatic short
+        form).  A ``resilience`` config is installed on the engine's
+        gallery — replication must be set before indexing.
+        """
+        config = config if config is not None else ServiceConfig()
+        if overrides:
+            valid = {field.name for field in fields(ServiceConfig)}
+            unknown = set(overrides) - valid
+            if unknown:
+                raise TypeError(
+                    f"unknown ServiceConfig field(s): {sorted(unknown)}")
+            config = config.with_(**overrides)
+        if resilience is not None:
+            engine.configure_resilience(resilience)
+        return cls(engine, config=config)
+
+    # Legacy attribute surface (kept so existing call sites and tests
+    # reading service.m / service.preprocessor keep working).
+    @property
+    def m(self) -> int:
+        return self.config.m
+
+    @property
+    def query_budget(self) -> int | None:
+        return self.config.query_budget
+
+    @property
+    def preprocessor(self) -> Preprocessor | None:
+        return self.config.preprocessor
+
+    @property
+    def quantize_queries(self) -> bool:
+        return self.config.quantize_queries
 
     def reset_query_count(self) -> None:
         """Zero the query counter (e.g. between attack runs)."""
@@ -68,31 +145,46 @@ class RetrievalService:
     # Accounting (shared by sequential, batched, and committed paths)
     # -------------------------------------------------------------- #
     def _check_budget(self) -> None:
-        if self.query_budget is not None and self.query_count >= self.query_budget:
+        budget = self.config.query_budget
+        if budget is not None and self.query_count >= budget:
             counter("retrieval.budget_exceeded").inc()
             raise QueryBudgetExceeded(
-                f"query budget of {self.query_budget} exhausted"
+                f"query budget of {budget} exhausted"
             )
 
     def _account_one(self) -> None:
         self.query_count += 1
         counter("retrieval.queries").inc()
-        if self.query_budget is not None:
+        if self.config.query_budget is not None:
             gauge("retrieval.budget_remaining").set(
-                self.query_budget - self.query_count)
+                self.config.query_budget - self.query_count)
+
+    def _refund(self, count: int) -> None:
+        """Roll back accounting for queries the engine failed to serve.
+
+        Called when :class:`~repro.errors.RetrievalUnavailable`
+        propagates: the attacker never received a list, so the query
+        must not count — this is what makes checkpoint/resume
+        accounting bit-identical to an uninterrupted run.
+        """
+        self.query_count -= int(count)
+        counter("retrieval.unavailable").inc(count)
+        if self.config.query_budget is not None:
+            gauge("retrieval.budget_remaining").set(
+                self.config.query_budget - self.query_count)
 
     def _prepare(self, video: Video, record: bool = True) -> Video:
         """Quantize + run the defense preprocessor on one query video."""
-        if self.quantize_queries:
+        if self.config.quantize_queries:
             from repro.video.transforms import dequantize_uint8, quantize_uint8
 
             video = dequantize_uint8(quantize_uint8(video), video.label,
                                      video.video_id)
             if record:
                 counter("retrieval.quantized_queries").inc()
-        if self.preprocessor is not None:
+        if self.config.preprocessor is not None:
             with span("retrieval.defense.preprocess"):
-                video = self.preprocessor(video)
+                video = self.config.preprocessor(video)
             counter("retrieval.defense.preprocessed").inc()
         return video
 
@@ -102,14 +194,21 @@ class RetrievalService:
     def query(self, video: Video, m: int | None = None) -> RetrievalList:
         """Return the retrieval list for ``video``.
 
-        Raises :class:`QueryBudgetExceeded` once the budget is exhausted;
-        this models server-side throttling of suspicious accounts.
+        Raises :class:`QueryBudgetExceeded` once the budget is exhausted
+        (this models server-side throttling of suspicious accounts), and
+        :class:`~repro.errors.RetrievalUnavailable` — with the query
+        refunded — when the gallery cannot answer exactly.
         """
         self._check_budget()
         self._account_one()
         with span("retrieval.query"):
             video = self._prepare(video)
-            return self.engine.retrieve(video, self.m if m is None else int(m))
+            try:
+                return self.engine.retrieve(
+                    video, self.config.m if m is None else int(m))
+            except RetrievalUnavailable:
+                self._refund(1)
+                raise
 
     def query_batch(self, videos: list[Video],
                     m: int | None = None) -> list[RetrievalList]:
@@ -131,8 +230,12 @@ class RetrievalService:
             self._account_one()
             prepared.append(self._prepare(video))
         with span("retrieval.query_batch", batch=len(videos)):
-            return self.engine.retrieve_batch(
-                prepared, self.m if m is None else int(m))
+            try:
+                return self.engine.retrieve_batch(
+                    prepared, self.config.m if m is None else int(m))
+            except RetrievalUnavailable:
+                self._refund(len(prepared))
+                raise
 
     # -------------------------------------------------------------- #
     # Speculative evaluation
@@ -148,7 +251,8 @@ class RetrievalService:
         test spy wrapping the entry point) also disables speculation —
         phantom evaluations must never bypass instrumentation.
         """
-        return self.preprocessor is None and "query" not in self.__dict__
+        return self.config.preprocessor is None and \
+            "query" not in self.__dict__
 
     def speculate(self, videos: list[Video],
                   m: int | None = None) -> list[RetrievalList]:
@@ -166,7 +270,7 @@ class RetrievalService:
         prepared = [self._prepare(video, record=False) for video in videos]
         with span("retrieval.speculate", batch=len(videos)):
             return self.engine.retrieve_batch(
-                prepared, self.m if m is None else int(m))
+                prepared, self.config.m if m is None else int(m))
 
     def commit_speculated(self, count: int = 1) -> None:
         """Account for ``count`` speculated results that were consumed.
@@ -179,5 +283,5 @@ class RetrievalService:
         for _ in range(int(count)):
             self._check_budget()
             self._account_one()
-            if self.quantize_queries:
+            if self.config.quantize_queries:
                 counter("retrieval.quantized_queries").inc()

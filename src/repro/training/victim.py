@@ -58,6 +58,6 @@ def build_victim_system(dataset: SyntheticVideoDataset, backbone: str = "i3d",
     engine = RetrievalEngine(extractor, similarity=similarity,
                              num_nodes=num_nodes)
     engine.index_videos(dataset.train)
-    service = RetrievalService(engine, m=m)
+    service = RetrievalService.build(engine, m=m)
     return VictimSystem(engine=engine, service=service,
                         gallery_videos=list(dataset.train), history=history)

@@ -1,0 +1,51 @@
+"""Shared builders for the resilience suite.
+
+These tests exercise the retrieval plane directly (no training): an
+untrained extractor over tiny synthetic clips is deterministic under a
+fixed seed, which is all the fault-injection and checkpoint tests need.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import create_feature_extractor
+from repro.retrieval import RetrievalEngine, RetrievalService, ShardedGallery
+from repro.video.types import Video
+
+
+def make_videos(count, seed=0, frames=4, size=12):
+    rng = np.random.default_rng(seed)
+    return [
+        Video(rng.random((frames, size, size, 3)), label=index % 3,
+              video_id=f"v{index}")
+        for index in range(count)
+    ]
+
+
+def build_gallery(num_nodes=4, resilience=None, rows=32, dim=8, seed=0):
+    """A populated raw gallery (random features, no model)."""
+    gallery = ShardedGallery(num_nodes=num_nodes, resilience=resilience)
+    rng = np.random.default_rng(seed)
+    gallery.add_batch(
+        [f"v{index}" for index in range(rows)],
+        [index % 5 for index in range(rows)],
+        rng.random((rows, dim)),
+    )
+    return gallery, rng.random(dim)
+
+
+def build_service(num_nodes=4, resilience=None, gallery_size=16, seed=0, m=6):
+    """An untrained-but-deterministic victim service over synthetic clips."""
+    extractor = create_feature_extractor(
+        "resnet18", feature_dim=8, width=1, rng=np.random.default_rng(seed))
+    engine = RetrievalEngine(extractor, num_nodes=num_nodes,
+                             resilience=resilience)
+    engine.index_videos(make_videos(gallery_size, seed=seed + 1))
+    return RetrievalService.build(engine, m=m)
+
+
+@pytest.fixture
+def query_pair():
+    """Two out-of-gallery videos (attack original / target stand-ins)."""
+    videos = make_videos(2, seed=99)
+    return videos[0], videos[1]

@@ -1,0 +1,156 @@
+"""Circuit breaker state machine and deterministic retry backoff."""
+
+import pytest
+
+from repro.errors import NodeDownError, QueryBudgetExceeded
+from repro.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    RetryExecutor,
+    RetryPolicy,
+)
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    policy = BreakerPolicy(failure_threshold=3, cooldown_s=10.0)
+    return CircuitBreaker(policy, node_id="node-0", clock=clock)
+
+
+class TestBreaker:
+    def test_trips_after_threshold(self, breaker):
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+
+    def test_open_blocks_until_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        clock.now = 9.9
+        assert not breaker.allow()
+        clock.now = 10.0
+        assert breaker.allow()  # the half-open probe
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_probe_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 10.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_half_open_probe_failure_reopens(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 10.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow()  # fresh cooldown from the re-trip
+        clock.now = 20.0
+        assert breaker.allow()
+
+    def test_success_resets_failure_streak(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_reset(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+
+class TestRetry:
+    def test_backoff_deterministic_per_node(self):
+        policy = RetryPolicy(max_attempts=5, seed=42)
+        first = RetryExecutor(policy, node_id="node-0", sleep=lambda _: None)
+        second = RetryExecutor(policy, node_id="node-0", sleep=lambda _: None)
+        schedule = [first.backoff_s(a) for a in range(1, 6)]
+        assert schedule == [second.backoff_s(a) for a in range(1, 6)]
+        other = RetryExecutor(policy, node_id="node-1", sleep=lambda _: None)
+        assert schedule != [other.backoff_s(a) for a in range(1, 6)]
+
+    def test_backoff_shape(self):
+        policy = RetryPolicy(max_attempts=6, backoff_base_s=0.001,
+                             backoff_max_s=0.004, jitter=0.0)
+        executor = RetryExecutor(policy, node_id="n", sleep=lambda _: None)
+        assert executor.backoff_s(1) == 0.0
+        assert executor.backoff_s(2) == pytest.approx(0.001)
+        assert executor.backoff_s(3) == pytest.approx(0.002)
+        assert executor.backoff_s(4) == pytest.approx(0.004)
+        assert executor.backoff_s(5) == pytest.approx(0.004)  # capped
+
+    def test_retries_transient_then_succeeds(self):
+        executor = RetryExecutor(RetryPolicy(max_attempts=3),
+                                 node_id="n", sleep=lambda _: None)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise NodeDownError("transient")
+            return "ok"
+
+        assert executor.run(flaky) == "ok"
+        assert len(calls) == 3
+
+    def test_exhausts_and_reraises(self):
+        executor = RetryExecutor(RetryPolicy(max_attempts=2),
+                                 node_id="n", sleep=lambda _: None)
+        calls = []
+
+        def dead():
+            calls.append(1)
+            raise NodeDownError("still down")
+
+        with pytest.raises(NodeDownError):
+            executor.run(dead)
+        assert len(calls) == 2
+
+    def test_non_retryable_propagates_immediately(self):
+        executor = RetryExecutor(RetryPolicy(max_attempts=5),
+                                 node_id="n", sleep=lambda _: None)
+        calls = []
+
+        def fatal():
+            calls.append(1)
+            raise QueryBudgetExceeded("budget")
+
+        with pytest.raises(QueryBudgetExceeded):
+            executor.run(fatal)
+        assert len(calls) == 1
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-1.0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(failure_threshold=0)
