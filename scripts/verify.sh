@@ -4,7 +4,9 @@
 #   2. the observability overhead smoke bench (writes BENCH_obs.json),
 #   3. the perf hot-path smoke bench (gates against BENCH_perf.json),
 #   4. the fault-injection smoke tests + resilience overhead bench
-#      (gates the <5% fault-free wrapper overhead contract).
+#      (gates the <5% fault-free wrapper overhead contract),
+#   5. the qa correctness harness: differential oracles, invariant
+#      checks, and the golden-trace regression gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,5 +26,11 @@ python -m pytest -x -q tests/resilience
 
 echo "== resilience smoke bench =="
 python benchmarks/bench_resilience.py --smoke
+
+echo "== qa correctness harness =="
+python -m pytest -x -q tests/qa
+
+echo "== qa golden-trace gate =="
+python -m repro.qa.regen --check
 
 echo "verify.sh: OK"

@@ -1,0 +1,93 @@
+"""Tolerance-aware result comparators shared by oracles and goldens.
+
+Two regimes, chosen per field:
+
+* *bit-exact* — retrieval lists, rng-derived integer state, and content
+  hashes, where the library documents bit-identical contracts;
+* *allclose* — float values reachable through different summation orders
+  (einsum vs GEMM), compared with explicit ``rtol``/``atol``.
+
+All comparators raise ``AssertionError`` with a path-annotated message,
+so a mismatch deep inside a nested result pinpoints the leaf.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+#: Default tolerance for floats that may legitimately differ in
+#: summation order between reference and fast paths.
+RTOL = 1e-9
+ATOL = 1e-12
+
+
+def array_digest(array: np.ndarray) -> str:
+    """BLAKE2b hex digest of an array's geometry + exact contents."""
+    array = np.asarray(array)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(array.shape).encode())
+    digest.update(str(array.dtype).encode())
+    digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+def assert_close(reference, fast, rtol: float = RTOL, atol: float = ATOL,
+                 path: str = "result") -> None:
+    """Recursively compare nested results with float tolerance.
+
+    Dicts/lists/tuples are walked; arrays and floats compare with
+    ``allclose``; everything else must be equal.
+    """
+    if isinstance(reference, dict):
+        assert isinstance(fast, dict) and set(reference) == set(fast), (
+            f"{path}: dict keys differ: {sorted(reference)} vs "
+            f"{sorted(fast) if isinstance(fast, dict) else type(fast)}")
+        for key in reference:
+            assert_close(reference[key], fast[key], rtol, atol,
+                         f"{path}[{key!r}]")
+        return
+    if isinstance(reference, (list, tuple)):
+        assert isinstance(fast, (list, tuple)) and \
+            len(reference) == len(fast), (
+                f"{path}: length differs: {len(reference)} vs "
+                f"{len(fast) if isinstance(fast, (list, tuple)) else type(fast)}")
+        for index, (ref_item, fast_item) in enumerate(zip(reference, fast)):
+            assert_close(ref_item, fast_item, rtol, atol, f"{path}[{index}]")
+        return
+    if isinstance(reference, np.ndarray) or isinstance(fast, np.ndarray) or \
+            isinstance(reference, float) or isinstance(fast, float):
+        np.testing.assert_allclose(
+            np.asarray(fast), np.asarray(reference), rtol=rtol, atol=atol,
+            err_msg=f"{path}: reference/fast value mismatch")
+        return
+    assert reference == fast, f"{path}: {reference!r} != {fast!r}"
+
+
+def assert_retrieval_lists_equal(reference, fast, path: str = "list") -> None:
+    """Bit-exact comparison of retrieval results.
+
+    Accepts single lists of entries or batches of lists; entries must
+    agree on id, label, *and* exact score — the batched kernels and the
+    replicated merge both document bit-identical scoring.
+    """
+    ref_entries = getattr(reference, "entries", reference)
+    fast_entries = getattr(fast, "entries", fast)
+    assert len(ref_entries) == len(fast_entries), (
+        f"{path}: length differs: {len(ref_entries)} vs {len(fast_entries)}")
+    for index, (ref_entry, fast_entry) in enumerate(
+            zip(ref_entries, fast_entries)):
+        if isinstance(ref_entry, (list, tuple)) or \
+                hasattr(ref_entry, "entries"):
+            assert_retrieval_lists_equal(ref_entry, fast_entry,
+                                         f"{path}[{index}]")
+            continue
+        assert ref_entry.video_id == fast_entry.video_id, (
+            f"{path}[{index}]: id {ref_entry.video_id!r} != "
+            f"{fast_entry.video_id!r}")
+        assert ref_entry.label == fast_entry.label, (
+            f"{path}[{index}]: label {ref_entry.label} != {fast_entry.label}")
+        assert ref_entry.score == fast_entry.score, (
+            f"{path}[{index}] ({ref_entry.video_id}): score "
+            f"{ref_entry.score!r} != {fast_entry.score!r}")

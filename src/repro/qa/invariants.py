@@ -1,0 +1,159 @@
+"""Invariant checkers: NaN/Inf guards, budget conservation, metric ranges.
+
+Each checker is usable three ways: called directly from a test, wrapped
+in a pytest fixture (see ``tests/qa/conftest.py``), or — for the
+numerical guard — installed as an always-on runtime hook by setting
+``REPRO_QA_NANGUARD=1`` before importing :mod:`repro.qa`.
+
+The finite guard piggybacks on the autograd profiling hook point
+(:func:`repro.nn.tensor.set_autograd_hooks`): every op-result tensor is
+checked for NaN/Inf at construction, and any previously-installed hook
+(e.g. the obs profiler) is chained, not displaced.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.nn.tensor import get_autograd_hooks, set_autograd_hooks
+
+
+class NumericalFault(ReproError):
+    """An op produced NaN/Inf inside a guarded autograd region."""
+
+
+# ---------------------------------------------------------------------- #
+# NaN/Inf detection on autograd graphs
+# ---------------------------------------------------------------------- #
+def _finite_make_hook(previous):
+    def hook(op: str, data: np.ndarray) -> None:
+        if not np.all(np.isfinite(data)):
+            bad = int(data.size - np.count_nonzero(np.isfinite(data)))
+            raise NumericalFault(
+                f"op {op!r} produced {bad} non-finite value(s) "
+                f"in a tensor of shape {np.shape(data)}")
+        if previous is not None:
+            previous(op, data)
+    return hook
+
+
+@contextlib.contextmanager
+def finite_guard():
+    """Raise :class:`NumericalFault` on any non-finite op result.
+
+    Chains (and afterwards restores) whatever autograd hooks were
+    already installed, so it composes with the obs profiler.
+    """
+    previous_make, previous_backward = get_autograd_hooks()
+    set_autograd_hooks(_finite_make_hook(previous_make), previous_backward)
+    try:
+        yield
+    finally:
+        set_autograd_hooks(previous_make, previous_backward)
+
+
+def install_runtime_guards() -> bool:
+    """Install the finite guard process-wide when ``REPRO_QA_NANGUARD=1``.
+
+    Returns whether the guard was installed.  Called on ``repro.qa``
+    import; a no-op (returning False) without the env flag.
+    """
+    flag = os.environ.get("REPRO_QA_NANGUARD", "").strip()
+    if flag not in ("1", "true", "on"):
+        return False
+    previous_make, previous_backward = get_autograd_hooks()
+    set_autograd_hooks(_finite_make_hook(previous_make), previous_backward)
+    return True
+
+
+def assert_finite_graph(tensor) -> None:
+    """Walk a tensor's autograd graph; fail on any non-finite data/grad."""
+    seen: set[int] = set()
+    stack = [tensor]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if not np.all(np.isfinite(node.data)):
+            raise NumericalFault(
+                f"non-finite values in {node.op!r} output "
+                f"(shape {node.data.shape})")
+        if node.grad is not None and not np.all(np.isfinite(node.grad)):
+            raise NumericalFault(
+                f"non-finite gradient at {node.op!r} "
+                f"(shape {node.grad.shape})")
+        stack.extend(node._parents)
+
+
+# ---------------------------------------------------------------------- #
+# Budget-accounting conservation
+# ---------------------------------------------------------------------- #
+def check_budget_conservation(service) -> None:
+    """Every issued query is either charged or refunded — never both.
+
+    Uses the ledger counters on :class:`RetrievalService`:
+    ``queries_issued == query_count + queries_refunded``, with all three
+    non-negative.
+    """
+    issued = service.queries_issued
+    charged = service.query_count
+    refunded = service.queries_refunded
+    assert issued >= 0 and charged >= 0 and refunded >= 0, (
+        f"negative query accounting: issued={issued} charged={charged} "
+        f"refunded={refunded}")
+    assert issued == charged + refunded, (
+        f"query accounting leak: issued={issued} != "
+        f"charged={charged} + refunded={refunded}")
+
+
+# ---------------------------------------------------------------------- #
+# Metric range checks
+# ---------------------------------------------------------------------- #
+def assert_unit_interval(value: float, name: str) -> None:
+    """A metric documented as ∈ [0, 1] must actually be in [0, 1]."""
+    assert np.isfinite(value), f"{name} is non-finite: {value!r}"
+    assert 0.0 <= float(value) <= 1.0, f"{name} out of [0, 1]: {value!r}"
+
+
+def spa_fraction(perturbation: np.ndarray) -> float:
+    """Spa normalized by the video size — the [0, 1] form of sparsity."""
+    from repro.metrics.perturbation import sparsity
+
+    size = int(np.asarray(perturbation).size)
+    return sparsity(perturbation) / size if size else 0.0
+
+
+def check_metric_ranges(values: dict[str, float]) -> None:
+    """Assert every named metric value lies in [0, 1]."""
+    for name, value in values.items():
+        assert_unit_interval(value, name)
+
+
+# ---------------------------------------------------------------------- #
+# Embed-cache coherence
+# ---------------------------------------------------------------------- #
+def check_cache_coherence(engine, videos) -> None:
+    """A cache hit must be bit-identical to a fresh model forward.
+
+    Embeds ``videos`` twice through the engine (second pass may hit the
+    cache), then once more with the cache cleared, and requires all
+    three feature matrices to be exactly equal.
+    """
+    first = engine.embed_queries(videos)
+    second = engine.embed_queries(videos)
+    np.testing.assert_array_equal(
+        first, second, err_msg="cached embedding differs from first pass")
+    hits_before = engine.embedding_cache.hits
+    engine.clear_embedding_cache()
+    fresh = engine.embed_queries(videos)
+    np.testing.assert_array_equal(
+        first, fresh, err_msg="embedding after cache clear differs")
+    if engine.embedding_cache.enabled:
+        assert hits_before >= len(videos), (
+            f"expected >= {len(videos)} cache hits on the second pass, "
+            f"saw {hits_before}")

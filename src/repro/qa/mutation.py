@@ -1,0 +1,44 @@
+"""Seeded fault injection — proof that the oracles have teeth.
+
+A correctness harness that never fires is indistinguishable from one
+that cannot fire.  :func:`seeded_conv_fault` deliberately perturbs the
+GEMM conv kernel (the exact class of silent numerical drift the
+differential oracles exist to catch); the mutation smoke test asserts
+the ``conv*.einsum_vs_gemm`` pairs fail under the fault and pass again
+once it is lifted.
+
+The injection point is ``repro.perf.gemm_conv._conv_forward``: the
+rank-specific entry points resolve it from module globals at call time,
+so swapping the module attribute reroutes every GEMM conv — including
+calls dispatched through ``repro.nn.functional`` — without touching any
+other code path.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.perf import gemm_conv
+
+
+@contextlib.contextmanager
+def seeded_conv_fault(scale: float = 1.0 + 1e-3):
+    """Multiply GEMM conv forward outputs by ``scale`` while active.
+
+    The default fault is a 0.1% relative error — far above oracle
+    tolerance, far below anything an end-to-end smoke test would
+    notice, which is precisely the regression class the differential
+    oracles must catch.
+    """
+    original = gemm_conv._conv_forward
+
+    def faulty(x, weight, stride, padding, reuse_scratch):
+        out, cols, padded_shape = original(x, weight, stride, padding,
+                                           reuse_scratch)
+        return out * scale, cols, padded_shape
+
+    gemm_conv._conv_forward = faulty
+    try:
+        yield
+    finally:
+        gemm_conv._conv_forward = original

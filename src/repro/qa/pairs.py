@@ -1,0 +1,403 @@
+"""Built-in differential-oracle pair declarations.
+
+Importing this module populates the registry in :mod:`repro.qa.oracle`
+with every reference/fast equivalence contract the library claims:
+
+* ``conv2d`` / ``conv3d``: strided-einsum vs im2col GEMM (forward and
+  both gradients) — the contract behind ``REPRO_CONV_IMPL``;
+* ``search`` vs ``search_batch`` on :class:`FeatureIndex`,
+  :class:`IVFIndex`, and :class:`ShardedGallery`;
+* cached vs uncached query embeddings (``REPRO_EMBED_CACHE``);
+* replicated (r = 2, 3) vs single-shard retrieval;
+* sequential vs speculative/batched SparseQuery steps;
+* scalar vs vectorized NDCG list similarity.
+
+Each pair builds its own inputs deterministically from scalar case
+parameters, so the shrinker can minimize counterexamples by shrinking
+integers without ever producing inconsistent array shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.duo.priors import TransferPriors
+from repro.attacks.duo.sparse_query import SparseQuery
+from repro.attacks.objective import RetrievalObjective
+from repro.metrics.similarity import ndcg_similarity, ndcg_similarity_many
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.perf import gemm_conv
+from repro.qa.comparators import (
+    array_digest,
+    assert_close,
+    assert_retrieval_lists_equal,
+)
+from repro.qa.generators import Strategy, draw_gallery, shrink_int
+from repro.qa.oracle import OraclePair, register
+from repro.qa.world import build_world
+from repro.resilience.config import ResilienceConfig
+from repro.retrieval.ann import IVFIndex
+from repro.retrieval.index import FeatureIndex
+from repro.retrieval.nodes import ShardedGallery
+
+# ---------------------------------------------------------------------- #
+# conv einsum vs GEMM
+# ---------------------------------------------------------------------- #
+
+
+def _conv_case(seed: int, batch: int, in_ch: int, out_ch: int,
+               spatial: tuple[int, ...], kernel: tuple[int, ...],
+               stride: tuple[int, ...], padding: tuple[int, ...]):
+    """Deterministic (x, w) for a conv problem, sanitized to be valid."""
+    spatial = tuple(max(size, k) for size, k in zip(spatial, kernel))
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(batch, in_ch, *spatial))
+    w = rng.normal(size=(out_ch, in_ch, *kernel))
+    return x, w, stride, padding
+
+
+def _conv_run(impl: str, conv, seed, batch, in_ch, out_ch, spatial, kernel,
+              stride, padding):
+    """Forward + backward of one conv under a forced implementation."""
+    x, w, stride, padding = _conv_case(seed, batch, in_ch, out_ch, spatial,
+                                       kernel, stride, padding)
+    previous = gemm_conv._forced_impl
+    gemm_conv.set_conv_impl(impl)
+    try:
+        xt = Tensor(x, requires_grad=True)
+        wt = Tensor(w, requires_grad=True)
+        out = conv(xt, wt, stride=stride, padding=padding)
+        out.sum().backward()
+        return {"out": out.data, "grad_x": xt.grad, "grad_w": wt.grad}
+    finally:
+        gemm_conv.set_conv_impl(previous)
+
+
+def _conv2d_strategy(rng: np.random.Generator) -> dict:
+    kernel = (int(rng.integers(1, 4)), int(rng.integers(1, 4)))
+    return {
+        "seed": int(rng.integers(0, 2**31)),
+        "batch": int(rng.integers(1, 4)),
+        "in_ch": int(rng.integers(1, 4)),
+        "out_ch": int(rng.integers(1, 4)),
+        "spatial": (int(rng.integers(3, 10)), int(rng.integers(3, 10))),
+        "kernel": kernel,
+        "stride": (int(rng.integers(1, 3)), int(rng.integers(1, 3))),
+        "padding": (int(rng.integers(0, 3)), int(rng.integers(0, 3))),
+    }
+
+
+def _conv3d_strategy(rng: np.random.Generator) -> dict:
+    return {
+        "seed": int(rng.integers(0, 2**31)),
+        "batch": int(rng.integers(1, 3)),
+        "in_ch": int(rng.integers(1, 3)),
+        "out_ch": int(rng.integers(1, 3)),
+        "spatial": (int(rng.integers(2, 6)), int(rng.integers(3, 8)),
+                    int(rng.integers(3, 8))),
+        "kernel": (int(rng.integers(1, 3)), int(rng.integers(1, 4)),
+                   int(rng.integers(1, 4))),
+        "stride": (int(rng.integers(1, 3)), int(rng.integers(1, 3)),
+                   int(rng.integers(1, 3))),
+        "padding": (int(rng.integers(0, 2)), int(rng.integers(0, 2)),
+                    int(rng.integers(0, 2))),
+    }
+
+
+_CONV_SHRINKERS = {
+    "batch": shrink_int(1),
+    "in_ch": shrink_int(1),
+    "out_ch": shrink_int(1),
+}
+
+
+def _conv_compare(reference, fast):
+    assert_close(reference, fast, rtol=1e-8, atol=1e-10)
+
+
+register(OraclePair(
+    name="conv2d.einsum_vs_gemm",
+    reference=lambda **case: _conv_run("einsum", F.conv2d, **case),
+    fast=lambda **case: _conv_run("gemm", F.conv2d, **case),
+    strategy=Strategy("conv2d", _conv2d_strategy, _CONV_SHRINKERS),
+    compare=_conv_compare,
+    cases=6,
+    description="conv2d forward/backward: strided einsum vs im2col GEMM",
+    guards=("REPRO_CONV_IMPL",),
+))
+
+register(OraclePair(
+    name="conv3d.einsum_vs_gemm",
+    reference=lambda **case: _conv_run("einsum", F.conv3d, **case),
+    fast=lambda **case: _conv_run("gemm", F.conv3d, **case),
+    strategy=Strategy("conv3d", _conv3d_strategy, _CONV_SHRINKERS),
+    compare=_conv_compare,
+    cases=4,
+    description="conv3d forward/backward: strided einsum vs im2col GEMM",
+    guards=("REPRO_CONV_IMPL",),
+))
+
+
+# ---------------------------------------------------------------------- #
+# search vs search_batch (FeatureIndex / IVFIndex / ShardedGallery)
+# ---------------------------------------------------------------------- #
+def _index_strategy(rng: np.random.Generator) -> dict:
+    return {
+        "seed": int(rng.integers(0, 2**31)),
+        "rows": int(rng.integers(1, 40)),
+        "dim": int(rng.integers(1, 12)),
+        "batch": int(rng.integers(1, 8)),
+        "k": int(rng.integers(1, 10)),
+    }
+
+
+_INDEX_SHRINKERS = {
+    "rows": shrink_int(1),
+    "dim": shrink_int(1),
+    "batch": shrink_int(1),
+    "k": shrink_int(1),
+}
+
+
+def _queries_for(seed: int, batch: int, dim: int) -> np.ndarray:
+    return np.random.default_rng(seed + 1).normal(size=(batch, dim))
+
+
+def _feature_index(seed, rows, dim):
+    index = FeatureIndex()
+    index.add_batch(*draw_gallery(np.random.default_rng(seed), rows, dim))
+    return index
+
+
+def _search_sequential(build):
+    def run(seed, rows, dim, batch, k):
+        index = build(seed, rows, dim)
+        queries = _queries_for(seed, batch, dim)
+        return [index.search(query, k) for query in queries]
+    return run
+
+
+def _search_batched(build):
+    def run(seed, rows, dim, batch, k):
+        index = build(seed, rows, dim)
+        queries = _queries_for(seed, batch, dim)
+        return index.search_batch(queries, k)
+    return run
+
+
+register(OraclePair(
+    name="feature_index.search_vs_batch",
+    reference=_search_sequential(_feature_index),
+    fast=_search_batched(_feature_index),
+    strategy=Strategy("feature_index", _index_strategy, _INDEX_SHRINKERS),
+    compare=assert_retrieval_lists_equal,
+    cases=8,
+    description="FeatureIndex.search_batch vs per-query search (bit-exact)",
+))
+
+
+def _ivf_index(seed, rows, dim):
+    rng = np.random.default_rng(seed)
+    index = IVFIndex(num_cells=4, nprobe=2, rng=np.random.default_rng(seed + 2))
+    index.add_batch(*draw_gallery(rng, rows, dim))
+    index.build()
+    return index
+
+
+register(OraclePair(
+    name="ivf_index.search_vs_batch",
+    reference=_search_sequential(_ivf_index),
+    fast=_search_batched(_ivf_index),
+    strategy=Strategy("ivf_index", _index_strategy, _INDEX_SHRINKERS),
+    compare=assert_retrieval_lists_equal,
+    cases=6,
+    description="IVFIndex.search_batch vs per-query search (same cells)",
+))
+
+
+def _gallery_strategy(rng: np.random.Generator) -> dict:
+    case = _index_strategy(rng)
+    case["num_nodes"] = int(rng.integers(1, 5))
+    return case
+
+
+def _sharded_gallery(seed, rows, dim, num_nodes, replication=1):
+    gallery = ShardedGallery(
+        num_nodes=num_nodes,
+        resilience=None if replication == 1 else
+        ResilienceConfig(replication=replication))
+    gallery.add_batch(*draw_gallery(np.random.default_rng(seed), rows, dim))
+    return gallery
+
+
+register(OraclePair(
+    name="sharded_gallery.search_vs_batch",
+    reference=lambda seed, rows, dim, batch, k, num_nodes: [
+        _sharded_gallery(seed, rows, dim, num_nodes).search(query, k)
+        for query in _queries_for(seed, batch, dim)
+    ],
+    fast=lambda seed, rows, dim, batch, k, num_nodes:
+        _sharded_gallery(seed, rows, dim, num_nodes).search_batch(
+            _queries_for(seed, batch, dim), k),
+    strategy=Strategy("sharded_gallery", _gallery_strategy,
+                      dict(_INDEX_SHRINKERS, num_nodes=shrink_int(1))),
+    compare=assert_retrieval_lists_equal,
+    cases=6,
+    description="ShardedGallery scatter/gather batch vs sequential search",
+))
+
+
+# ---------------------------------------------------------------------- #
+# replicated vs single-shard retrieval
+# ---------------------------------------------------------------------- #
+def _replication_strategy(rng: np.random.Generator) -> dict:
+    case = _index_strategy(rng)
+    case["num_nodes"] = int(rng.integers(3, 6))
+    case["replication"] = int(rng.choice((2, 3)))
+    return case
+
+
+register(OraclePair(
+    name="gallery.replicated_vs_single",
+    reference=lambda seed, rows, dim, batch, k, num_nodes, replication: [
+        _sharded_gallery(seed, rows, dim, num_nodes).search(query, k)
+        for query in _queries_for(seed, batch, dim)
+    ],
+    fast=lambda seed, rows, dim, batch, k, num_nodes, replication: [
+        _sharded_gallery(seed, rows, dim, num_nodes,
+                         replication=replication).search(query, k)
+        for query in _queries_for(seed, batch, dim)
+    ],
+    strategy=Strategy("replication", _replication_strategy,
+                      dict(_INDEX_SHRINKERS, replication=shrink_int(2))),
+    compare=assert_retrieval_lists_equal,
+    cases=5,
+    description="replication r=2,3 keeps retrieval exact vs r=1",
+))
+
+
+# ---------------------------------------------------------------------- #
+# cached vs uncached query embeddings
+# ---------------------------------------------------------------------- #
+def _embed_run(cache_size: int, seed: int, num_videos: int):
+    world = build_world(seed, num_videos=5, cache_size=cache_size)
+    from repro.qa.world import tiny_videos
+
+    queries = tiny_videos(seed + 17, num_videos)
+    first = world.engine.embed_queries(queries)
+    second = world.engine.embed_queries(queries)  # cache hits when enabled
+    return {"first": first, "second": second}
+
+
+def _embed_compare(reference, fast):
+    np.testing.assert_array_equal(reference["first"], fast["first"])
+    np.testing.assert_array_equal(reference["second"], fast["second"])
+    np.testing.assert_array_equal(fast["first"], fast["second"])
+
+
+register(OraclePair(
+    name="engine.cached_vs_uncached",
+    reference=lambda seed, num_videos: _embed_run(0, seed, num_videos),
+    fast=lambda seed, num_videos: _embed_run(32, seed, num_videos),
+    strategy=Strategy(
+        "embed_cache",
+        lambda rng: {"seed": int(rng.integers(0, 2**31)),
+                     "num_videos": int(rng.integers(1, 5))},
+        {"num_videos": shrink_int(1)},
+    ),
+    compare=_embed_compare,
+    cases=2,
+    description="EmbeddingCache hits are bit-identical to fresh forwards",
+    guards=("REPRO_EMBED_CACHE",),
+))
+
+
+# ---------------------------------------------------------------------- #
+# sequential vs speculative SparseQuery
+# ---------------------------------------------------------------------- #
+def _qa_priors(shape: tuple[int, ...], seed: int, k: int = 48) -> TransferPriors:
+    rng = np.random.default_rng(seed)
+    per_frame = int(np.prod(shape[1:]))
+    flat = np.zeros(int(np.prod(shape)), dtype=bool)
+    flat[rng.choice(2 * per_frame, size=min(k, 2 * per_frame),
+                    replace=False)] = True
+    theta = np.zeros(shape)
+    theta.reshape(-1)[flat] = rng.uniform(-0.1, 0.1, size=flat.sum())
+    frame_mask = np.zeros(shape[0])
+    frame_mask[:2] = 1.0
+    return TransferPriors(pixel_mask=flat.reshape(shape).astype(float),
+                          frame_mask=frame_mask, theta=theta)
+
+
+def _sparse_query_run(batched: bool, seed: int, iters: int):
+    world = build_world(seed, cache_size=0)
+    objective = RetrievalObjective(world.service, world.original,
+                                   world.target)
+    attack = SparseQuery(iter_num_q=iters, tau=30, rng=seed + 5,
+                         batched=batched)
+    priors = _qa_priors(world.original.pixels.shape, seed + 9)
+    adversarial, trace = attack.run(world.original, priors, objective)
+    return {
+        "perturbation_digest": array_digest(adversarial.pixels),
+        "trace": list(trace),
+        "objective_trace": list(objective.trace),
+        "objective_queries": objective.queries,
+        "service_queries": world.service.query_count,
+    }
+
+
+def _exact_compare(reference, fast):
+    assert reference == fast, (
+        f"sequential/speculative state diverged:\n  seq: {reference}\n"
+        f"  spec: {fast}")
+
+
+register(OraclePair(
+    name="sparse_query.sequential_vs_speculative",
+    reference=lambda seed, iters: _sparse_query_run(False, seed, iters),
+    fast=lambda seed, iters: _sparse_query_run(True, seed, iters),
+    strategy=Strategy(
+        "sparse_query",
+        lambda rng: {"seed": int(rng.integers(0, 1000)),
+                     "iters": int(rng.integers(2, 6))},
+        {"iters": shrink_int(1)},
+    ),
+    compare=_exact_compare,
+    cases=2,
+    description="speculative ±ε SparseQuery steps match the sequential loop",
+))
+
+
+# ---------------------------------------------------------------------- #
+# scalar vs vectorized NDCG similarity
+# ---------------------------------------------------------------------- #
+def _ndcg_lists(seed: int, num_lists: int, length: int, universe: int):
+    from repro.qa.generators import draw_id_list
+
+    rng = np.random.default_rng(seed)
+    lists_a = [draw_id_list(rng, universe, length) for _ in range(num_lists)]
+    list_b = draw_id_list(rng, universe, length)
+    return lists_a, list_b
+
+
+register(OraclePair(
+    name="ndcg.scalar_vs_many",
+    reference=lambda seed, num_lists, length, universe: [
+        ndcg_similarity(a, _ndcg_lists(seed, num_lists, length, universe)[1])
+        for a in _ndcg_lists(seed, num_lists, length, universe)[0]
+    ],
+    fast=lambda seed, num_lists, length, universe:
+        ndcg_similarity_many(*_ndcg_lists(seed, num_lists, length, universe)),
+    strategy=Strategy(
+        "ndcg",
+        lambda rng: {"seed": int(rng.integers(0, 2**31)),
+                     "num_lists": int(rng.integers(1, 6)),
+                     "length": int(rng.integers(1, 10)),
+                     "universe": int(rng.integers(10, 30))},
+        {"num_lists": shrink_int(1), "length": shrink_int(1)},
+    ),
+    compare=_exact_compare,
+    cases=8,
+    description="ndcg_similarity_many is bit-identical to scalar calls",
+))

@@ -1,0 +1,111 @@
+"""Deterministic golden regeneration CLI.
+
+Usage::
+
+    python -m repro.qa.regen              # regenerate every golden
+    python -m repro.qa.regen sparse_query # subset
+    python -m repro.qa.regen --check      # recompute + compare, no writes
+    python -m repro.qa.regen --force      # allow a dirty git tree
+
+Regeneration refuses to run with uncommitted tracked changes: a golden
+is a reviewable statement "this is the behaviour of *this* commit", and
+regenerating on top of a dirty tree produces goldens that pin nobody's
+code.  ``--check`` never writes, so it skips the cleanliness gate (this
+is what the ``qa`` stage of ``scripts/verify.sh`` runs).
+
+Running twice in a row is byte-identical: every scenario is seeded, the
+JSON encoding is canonical (sorted keys, fixed indentation, trailing
+newline), and ``repro`` pins the BLAS thread count on import.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.qa.golden import (
+    SCENARIOS,
+    check_scenario,
+    dump_golden,
+    golden_path,
+    write_golden,
+)
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def _dirty_tracked_files() -> list[str]:
+    """Tracked files with uncommitted changes (empty outside a git repo)."""
+    try:
+        output = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=no"],
+            cwd=_REPO_ROOT, capture_output=True, text=True, timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return []
+    if output.returncode != 0:
+        return []
+    return [line for line in output.stdout.splitlines() if line.strip()]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate (or check) the qa golden traces.")
+    parser.add_argument("scenarios", nargs="*",
+                        help=f"subset to run (default: all of "
+                             f"{sorted(SCENARIOS)})")
+    parser.add_argument("--check", action="store_true",
+                        help="recompute and compare against stored goldens "
+                             "without writing anything")
+    parser.add_argument("--force", action="store_true",
+                        help="regenerate even with a dirty git tree")
+    args = parser.parse_args(argv)
+
+    names = args.scenarios or sorted(SCENARIOS)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        parser.error(f"unknown scenarios: {unknown}; "
+                     f"available: {sorted(SCENARIOS)}")
+
+    if not args.check and not args.force:
+        dirty = _dirty_tracked_files()
+        if dirty:
+            print("regen: refusing to regenerate goldens on a dirty git "
+                  "tree (goldens must pin a reviewable commit):",
+                  file=sys.stderr)
+            for line in dirty[:20]:
+                print(f"  {line}", file=sys.stderr)
+            print("commit or stash first, or pass --force.", file=sys.stderr)
+            return 2
+
+    failures = 0
+    for name in names:
+        if args.check:
+            try:
+                problems = check_scenario(name)
+            except FileNotFoundError:
+                print(f"[qa] {name}: MISSING golden "
+                      f"({golden_path(name)}) — run python -m repro.qa.regen")
+                failures += 1
+                continue
+            if problems:
+                failures += 1
+                print(f"[qa] {name}: MISMATCH")
+                for problem in problems:
+                    print(f"       {problem}")
+            else:
+                print(f"[qa] {name}: ok")
+            continue
+        data = SCENARIOS[name]()
+        path = golden_path(name)
+        changed = not path.exists() or path.read_text() != dump_golden(data)
+        write_golden(name, data)
+        print(f"[qa] {name}: {'updated' if changed else 'unchanged'} "
+              f"({path})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Tiny deterministic fixtures for oracle pairs and golden scenarios.
+
+Everything here is seeded and *untrained*: a randomly-initialized
+extractor is just as good an embedding function for equivalence checks
+and regression traces as a trained one, and building it costs
+milliseconds instead of the seconds a training loop takes.  The same
+builders serve the differential oracles (two services over the same
+world must agree) and the golden scenarios (one world's attack trace is
+pinned as a regression baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models import create_feature_extractor
+from repro.resilience.config import ResilienceConfig
+from repro.retrieval.engine import RetrievalEngine
+from repro.retrieval.service import RetrievalService
+from repro.utils.seeding import SeedSequence
+from repro.video.types import Video
+
+#: Clip geometry shared by every qa world — matches the tier-1 test
+#: fixtures (16×16, 8 frames) so model backbones see familiar shapes.
+FRAMES, HEIGHT, WIDTH = 8, 16, 16
+
+
+def tiny_videos(seed: int, count: int, label_base: int = 0) -> list[Video]:
+    """``count`` random uniform videos with stable ids and labels."""
+    rng = np.random.default_rng(seed)
+    return [
+        Video(rng.random((FRAMES, HEIGHT, WIDTH, 3)),
+              label=label_base + (i % 3), video_id=f"qa-{seed}-{i}")
+        for i in range(count)
+    ]
+
+
+def tiny_extractor(seed: int, feature_dim: int = 16, width: int = 2,
+                   backbone: str = "resnet18"):
+    """A frozen, randomly-initialized feature extractor."""
+    extractor = create_feature_extractor(
+        backbone, feature_dim=feature_dim, width=width,
+        rng=np.random.default_rng(seed))
+    extractor.eval()
+    extractor.requires_grad_(False)
+    return extractor
+
+
+@dataclass
+class TinyWorld:
+    """A self-contained victim: service + the videos around it."""
+
+    service: RetrievalService
+    engine: RetrievalEngine
+    gallery_videos: list[Video]
+    original: Video
+    target: Video
+
+
+def build_world(seed: int = 7, *, num_videos: int = 9, num_nodes: int = 2,
+                cache_size: int = 0, replication: int | None = None,
+                m: int = 5, query_budget: int | None = None) -> TinyWorld:
+    """Deterministically assemble a tiny retrieval world.
+
+    Two calls with the same arguments produce bit-identical services
+    (weights, gallery placement, retrieval scores); ``replication``
+    installs a :class:`ResilienceConfig` before indexing so replicated
+    and single-shard worlds hold the same logical gallery.
+    """
+    seeds = SeedSequence(seed)
+    extractor = tiny_extractor(seeds.child("extractor"))
+    engine = RetrievalEngine(extractor, num_nodes=num_nodes,
+                             cache_size=cache_size)
+    resilience = None if replication is None else \
+        ResilienceConfig(replication=replication)
+    service = RetrievalService.build(engine, m=m, query_budget=query_budget,
+                                     resilience=resilience)
+    gallery = tiny_videos(seeds.child("gallery"), num_videos)
+    engine.index_videos(gallery)
+    original, target = tiny_videos(seeds.child("queries"), 2, label_base=3)
+    return TinyWorld(service=service, engine=engine, gallery_videos=gallery,
+                     original=original, target=target)

@@ -94,6 +94,11 @@ class RetrievalService:
         self.config = config if config is not None else ServiceConfig()
         self.engine = engine
         self.query_count = 0
+        # Conservation ledger (see repro.qa.invariants): every accounted
+        # query is *issued*; refunds move it from charged to refunded, so
+        # queries_issued == query_count + queries_refunded at all times.
+        self.queries_issued = 0
+        self.queries_refunded = 0
 
     @classmethod
     def build(cls, engine: RetrievalEngine,
@@ -138,8 +143,10 @@ class RetrievalService:
         return self.config.quantize_queries
 
     def reset_query_count(self) -> None:
-        """Zero the query counter (e.g. between attack runs)."""
+        """Zero the query counters (e.g. between attack runs)."""
         self.query_count = 0
+        self.queries_issued = 0
+        self.queries_refunded = 0
 
     # -------------------------------------------------------------- #
     # Accounting (shared by sequential, batched, and committed paths)
@@ -154,6 +161,7 @@ class RetrievalService:
 
     def _account_one(self) -> None:
         self.query_count += 1
+        self.queries_issued += 1
         counter("retrieval.queries").inc()
         if self.config.query_budget is not None:
             gauge("retrieval.budget_remaining").set(
@@ -168,6 +176,7 @@ class RetrievalService:
         accounting bit-identical to an uninterrupted run.
         """
         self.query_count -= int(count)
+        self.queries_refunded += int(count)
         counter("retrieval.unavailable").inc(count)
         if self.config.query_budget is not None:
             gauge("retrieval.budget_remaining").set(

@@ -24,6 +24,39 @@ def numeric_gradient(fn, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
     return grad
 
 
+def assert_parameter_gradients_close(module, forward,
+                                     rtol: float = 1e-5,
+                                     atol: float = 1e-7) -> None:
+    """Check autograd gradients of every parameter of ``module``.
+
+    ``forward()`` must return a scalar loss Tensor built from the
+    module.  The numeric side perturbs each ``param.data`` in place and
+    re-evaluates the loss under ``no_grad``, so it works for modules
+    whose forward depends on internal state (BatchNorm batch stats,
+    LSTM unrolling) as long as that state is a pure function of inputs
+    and parameters.
+    """
+    from repro.nn import no_grad
+
+    module.zero_grad()
+    loss = forward()
+    loss.backward()
+
+    def evaluate() -> float:
+        with no_grad():
+            return forward().item()
+
+    for name, param in module.named_parameters():
+        numeric = numeric_gradient(evaluate, param.data)
+        analytic = param.grad
+        assert analytic is not None, f"no gradient for parameter {name!r}"
+        scale = max(np.abs(numeric).max(), 1.0)
+        np.testing.assert_allclose(
+            analytic, numeric, rtol=rtol, atol=atol * scale,
+            err_msg=f"gradient mismatch for parameter {name!r}",
+        )
+
+
 def assert_gradients_close(build_loss, arrays: dict[str, np.ndarray],
                            rtol: float = 1e-5, atol: float = 1e-7) -> None:
     """Check autograd gradients of a scalar loss against numeric ones.

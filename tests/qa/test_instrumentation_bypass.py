@@ -1,0 +1,142 @@
+"""Fast query paths must not route around instance-level instrumentation.
+
+A stateful defense (or a test spy) installed as ``service.query`` has to
+observe *every* query the attacker issues.  These tests pin the two
+escape hatches shut: ``query_batch`` falls back to per-video queries
+when the entry point is wrapped, and ``speculate`` refuses to run at
+all — so the detector and the obs counters see exactly the stream a
+sequential attacker would have produced.
+"""
+
+import numpy as np
+import pytest
+
+from repro.defenses.stateful import StatefulQueryDetector
+from repro.obs import counter
+from repro.attacks.duo.sparse_query import SparseQuery
+from repro.attacks.objective import RetrievalObjective
+from repro.qa.comparators import assert_retrieval_lists_equal
+from repro.qa.pairs import _qa_priors
+from repro.qa.world import build_world
+
+
+def _spy_on(service, detector, account="acct"):
+    """Wrap ``service.query`` with a detector plus an id-recording spy.
+
+    Captures the original bound method before overriding — assigning
+    ``detector.wrap_service(service, ...)`` onto ``service.query`` would
+    recurse, since the wrapper resolves ``service.query`` at call time.
+    """
+    observed = []
+    original = service.query
+
+    def spy(video, m=None):
+        observed.append(video.video_id)
+        detector.observe(account, video)
+        return original(video, m)
+
+    service.query = spy
+    return observed
+
+
+def test_wrapped_service_disables_speculation():
+    world = build_world(41)
+    _spy_on(world.service, StatefulQueryDetector())
+    assert not world.service.speculation_safe
+    with pytest.raises(RuntimeError):
+        world.service.speculate([world.original])
+
+
+def test_query_batch_falls_back_through_the_wrapped_entry_point():
+    plain = build_world(41)
+    wrapped = build_world(41)
+    observed = _spy_on(wrapped.service, StatefulQueryDetector())
+
+    videos = wrapped.gallery_videos[:4]
+    batched = wrapped.service.query_batch(videos)
+    sequential = [plain.service.query(video) for video in videos]
+
+    assert observed == [video.video_id for video in videos]
+    assert_retrieval_lists_equal(sequential, batched)
+    assert wrapped.service.query_count == plain.service.query_count == 4
+
+
+def _run_sparse_query(world, objective_queries_out=None, batched=None,
+                      iters=6, seed=17):
+    objective = RetrievalObjective(world.service, world.original,
+                                   world.target)
+    attack = SparseQuery(iter_num_q=iters, tau=30, rng=seed, batched=batched)
+    priors = _qa_priors(world.original.pixels.shape, seed + 1)
+    adversarial, trace = attack.run(world.original, priors, objective)
+    if objective_queries_out is not None:
+        objective_queries_out.append(objective.queries)
+    return adversarial, trace, objective
+
+
+def test_attack_under_detector_matches_clean_sequential_run():
+    # Clean world, explicitly sequential.
+    plain = build_world(47)
+    plain_adv, plain_trace, plain_obj = _run_sparse_query(plain,
+                                                          batched=False)
+
+    # Same world, but every query flows through a detector spy; batched
+    # is left on auto (None) — it must self-disable.
+    guarded = build_world(47)
+    detector = StatefulQueryDetector()
+    observed = _spy_on(guarded.service, detector)
+    guarded_adv, guarded_trace, guarded_obj = _run_sparse_query(guarded,
+                                                                batched=None)
+
+    # Identical attack results...
+    np.testing.assert_array_equal(plain_adv.pixels, guarded_adv.pixels)
+    assert guarded_trace == plain_trace
+    # ...and the detector saw every single query the attack issued.
+    assert len(observed) == guarded.service.query_count
+    assert guarded.service.query_count == plain.service.query_count
+    assert guarded_obj.queries == plain_obj.queries
+    assert guarded_obj.queries == guarded.service.query_count
+
+
+def test_speculative_path_reports_the_same_obs_counter_stream():
+    queries_counter = counter("retrieval.queries")
+
+    sequential_world = build_world(53)
+    before = queries_counter.value
+    _, seq_trace, seq_obj = _run_sparse_query(sequential_world,
+                                              batched=False)
+    sequential_delta = queries_counter.value - before
+
+    speculative_world = build_world(53)
+    assert speculative_world.service.speculation_safe
+    before = queries_counter.value
+    _, spec_trace, spec_obj = _run_sparse_query(speculative_world,
+                                                batched=True)
+    speculative_delta = queries_counter.value - before
+
+    assert spec_trace == seq_trace
+    assert spec_obj.queries == seq_obj.queries
+    # The obs counter ticks once per *committed* query — identical
+    # totals, so dashboards cannot tell the fast path from the slow one.
+    assert speculative_delta == sequential_delta
+    assert sequential_delta == sequential_world.service.query_count
+
+
+def test_detector_flagging_is_path_independent():
+    # Near-duplicate probing must accumulate detector hits identically
+    # whether queries arrive one at a time or through query_batch.
+    one_by_one = build_world(59)
+    det_a = StatefulQueryDetector(distance_threshold=0.5, flag_after=3)
+    _spy_on(one_by_one.service, det_a, account="a")
+    probes = [one_by_one.original.perturbed(
+        np.full(one_by_one.original.pixels.shape, 1e-4 * i))
+        for i in range(5)]
+    for probe in probes:
+        one_by_one.service.query(probe)
+
+    batched = build_world(59)
+    det_b = StatefulQueryDetector(distance_threshold=0.5, flag_after=3)
+    _spy_on(batched.service, det_b, account="a")
+    batched.service.query_batch(probes)
+
+    assert det_a.hit_count("a") == det_b.hit_count("a") > 0
+    assert det_a.is_flagged("a") == det_b.is_flagged("a")

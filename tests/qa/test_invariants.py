@@ -1,0 +1,177 @@
+"""Invariant checkers: finite-autograd guard, budget-accounting
+conservation, metric range checks, embed-cache coherence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryBudgetExceeded, RetrievalUnavailable
+from repro.nn.tensor import Tensor, get_autograd_hooks, set_autograd_hooks
+from repro.qa.invariants import (
+    NumericalFault,
+    assert_finite_graph,
+    assert_unit_interval,
+    check_budget_conservation,
+    check_cache_coherence,
+    check_metric_ranges,
+    finite_guard,
+    install_runtime_guards,
+    spa_fraction,
+)
+from repro.qa.world import build_world
+
+
+# ---------------------------------------------------------------------- #
+# NaN/Inf autograd guard
+# ---------------------------------------------------------------------- #
+def _poisoned_op():
+    return Tensor(np.array([1.0, -1.0]), requires_grad=True).log()
+
+
+def test_finite_guard_raises_on_non_finite_op():
+    with finite_guard():
+        with pytest.raises(NumericalFault, match="log"):
+            _poisoned_op()
+
+
+def test_finite_guard_is_scoped():
+    # Outside the guard the same op goes through (autograd itself does
+    # not police NaN — that is exactly why the guard exists).
+    result = _poisoned_op()
+    assert np.isnan(result.data[1])
+
+
+def test_finite_guard_chains_and_restores_previous_hooks():
+    calls = []
+    set_autograd_hooks(lambda op, data: calls.append(op), None)
+    try:
+        with finite_guard():
+            (Tensor(np.ones(3), requires_grad=True) * 2.0).sum()
+        assert calls, "previously-installed hook was displaced by the guard"
+        # After the guard exits, the previous hook (and only it) is back.
+        assert get_autograd_hooks()[0] is not None
+        before = len(calls)
+        (Tensor(np.ones(3), requires_grad=True) * 2.0).sum()
+        assert len(calls) > before
+    finally:
+        set_autograd_hooks(None, None)
+
+
+def test_install_runtime_guards_honors_env_flag(monkeypatch):
+    previous = get_autograd_hooks()
+    try:
+        monkeypatch.delenv("REPRO_QA_NANGUARD", raising=False)
+        assert install_runtime_guards() is False
+        monkeypatch.setenv("REPRO_QA_NANGUARD", "1")
+        assert install_runtime_guards() is True
+        with pytest.raises(NumericalFault):
+            _poisoned_op()
+    finally:
+        set_autograd_hooks(*previous)
+
+
+def test_assert_finite_graph_walks_parents():
+    x = Tensor(np.ones(4), requires_grad=True)
+    y = (x * 3.0).sum()
+    y.backward()
+    assert_finite_graph(y)  # healthy graph passes
+
+    bad = Tensor(np.array([np.inf]))
+    with pytest.raises(NumericalFault):
+        assert_finite_graph(bad * 1.0)
+
+
+def test_assert_finite_graph_rejects_non_finite_grad():
+    x = Tensor(np.ones(2), requires_grad=True)
+    y = (x * 2.0).sum()
+    y.backward()
+    x.grad[0] = np.nan
+    with pytest.raises(NumericalFault, match="gradient"):
+        assert_finite_graph(y)
+
+
+# ---------------------------------------------------------------------- #
+# Budget-accounting conservation
+# ---------------------------------------------------------------------- #
+def test_conservation_holds_after_normal_queries(budget_ledger):
+    world = build_world(61)
+    for video in world.gallery_videos[:4]:
+        world.service.query(video)
+    budget_ledger(world.service)
+    assert world.service.queries_issued == 4
+    assert world.service.queries_refunded == 0
+
+
+def test_conservation_holds_after_budget_exhaustion(budget_ledger):
+    world = build_world(61, query_budget=3)
+    with pytest.raises(QueryBudgetExceeded):
+        for video in world.gallery_videos:
+            world.service.query(video)
+    budget_ledger(world.service)
+    assert world.service.query_count == 3
+
+
+def test_conservation_holds_across_refunds(budget_ledger):
+    world = build_world(61, num_nodes=2, replication=1)
+    world.service.query(world.original)
+    world.engine.gallery.nodes[0].take_down()
+    with pytest.raises(RetrievalUnavailable):
+        world.service.query(world.original)
+    budget_ledger(world.service)
+    assert world.service.queries_refunded >= 1
+    assert world.service.query_count == 1  # the failed query was refunded
+    world.engine.gallery.nodes[0].bring_up()
+    world.service.query(world.original)
+    budget_ledger(world.service)
+    assert world.service.query_count == 2
+
+
+def test_conservation_detects_a_leak():
+    world = build_world(61)
+    world.service.query(world.original)
+    world.service.queries_issued += 1  # simulate broken accounting
+    with pytest.raises(AssertionError, match="leak"):
+        check_budget_conservation(world.service)
+
+
+def test_reset_clears_the_whole_ledger():
+    world = build_world(61)
+    world.service.query(world.original)
+    world.service.reset_query_count()
+    assert (world.service.query_count, world.service.queries_issued,
+            world.service.queries_refunded) == (0, 0, 0)
+    check_budget_conservation(world.service)
+
+
+# ---------------------------------------------------------------------- #
+# Metric ranges
+# ---------------------------------------------------------------------- #
+def test_metric_ranges_accept_unit_interval():
+    check_metric_ranges({"map": 0.0, "ap_at_m": 0.73, "ndcg": 1.0})
+
+
+@pytest.mark.parametrize("value", [-0.01, 1.5, float("nan"), float("inf")])
+def test_metric_ranges_reject_out_of_range(value):
+    with pytest.raises(AssertionError):
+        assert_unit_interval(value, "metric")
+
+
+def test_spa_fraction_is_a_unit_interval_metric():
+    perturbation = np.zeros((2, 4, 4, 3))
+    perturbation[0, 0, 0, 0] = 0.5
+    fraction = spa_fraction(perturbation)
+    assert_unit_interval(fraction, "spa_fraction")
+    assert fraction == pytest.approx(1.0 / perturbation.size)
+    assert spa_fraction(np.zeros(0)) == 0.0
+
+
+# ---------------------------------------------------------------------- #
+# Embed-cache coherence
+# ---------------------------------------------------------------------- #
+def test_cached_embeddings_are_coherent(cache_coherence):
+    world = build_world(67, cache_size=16)
+    cache_coherence(world.engine, [world.original, world.target])
+
+
+def test_cache_coherence_also_passes_without_a_cache(cache_coherence):
+    world = build_world(67, cache_size=0)
+    cache_coherence(world.engine, [world.original, world.target])

@@ -1,0 +1,35 @@
+"""The differential-oracle driver: one parametrized test per pair.
+
+Registering an :class:`~repro.qa.oracle.OraclePair` in
+``repro.qa.pairs`` is all it takes to get a test here — the driver
+enumerates the registry at collection time.
+"""
+
+import pytest
+
+from repro.qa.oracle import all_pairs, check_pair
+
+PAIRS = all_pairs()
+
+#: Contracts the issue requires the registry to cover.
+REQUIRED = {
+    "conv2d.einsum_vs_gemm",
+    "conv3d.einsum_vs_gemm",
+    "feature_index.search_vs_batch",
+    "ivf_index.search_vs_batch",
+    "sharded_gallery.search_vs_batch",
+    "engine.cached_vs_uncached",
+    "gallery.replicated_vs_single",
+    "sparse_query.sequential_vs_speculative",
+}
+
+
+def test_registry_covers_required_contracts():
+    assert REQUIRED <= set(PAIRS)
+    assert len(PAIRS) >= 5
+
+
+@pytest.mark.parametrize("name", sorted(PAIRS))
+def test_pair_agrees(name, reset_conv_impl):
+    pair = PAIRS[name]
+    assert check_pair(pair) == pair.cases
