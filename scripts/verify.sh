@@ -6,7 +6,9 @@
 #   4. the fault-injection smoke tests + resilience overhead bench
 #      (gates the <5% fault-free wrapper overhead contract),
 #   5. the qa correctness harness: differential oracles, invariant
-#      checks, and the golden-trace regression gate.
+#      checks, and the golden-trace regression gate,
+#   6. the serving front-end suite + its smoke bench (gates the 1.5x
+#      batched-throughput floor and timeline determinism).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,5 +34,11 @@ python -m pytest -x -q tests/qa
 
 echo "== qa golden-trace gate =="
 python -m repro.qa.regen --check
+
+echo "== serving front-end tests =="
+python -m pytest -x -q tests/serving
+
+echo "== serving smoke bench =="
+python benchmarks/bench_serving.py --smoke
 
 echo "verify.sh: OK"

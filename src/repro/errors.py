@@ -30,6 +30,12 @@ Hierarchy
     A node (or the whole scatter) blew through the configured per-query
     deadline.  A subclass of :class:`RetrievalUnavailable` because a
     deadline miss is one way a query becomes unservable.
+``ServiceOverloaded``
+    The serving front end refused to even enqueue the request — a
+    ``429``-style admission rejection (per-tenant rate limit hit, queue
+    full, or queued work shed under load/outage).  Carries an optional
+    ``retry_after_s`` hint, mirroring the ``Retry-After`` header a real
+    API would send.
 """
 
 from __future__ import annotations
@@ -67,6 +73,20 @@ class DeadlineExceeded(RetrievalUnavailable):
     """Raised when a query misses its configured deadline."""
 
 
+class ServiceOverloaded(RetrievalError):
+    """``429``-style admission rejection from the serving front end.
+
+    The request was never issued against the retrieval engine, so there
+    is nothing to refund; ``retry_after_s`` (when not ``None``) hints how
+    long the client should back off before retrying.
+    """
+
+    def __init__(self, message: str = "service overloaded",
+                 retry_after_s: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
 __all__ = [
     "ReproError",
     "RetrievalError",
@@ -75,4 +95,5 @@ __all__ = [
     "CircuitOpenError",
     "RetrievalUnavailable",
     "DeadlineExceeded",
+    "ServiceOverloaded",
 ]

@@ -10,7 +10,9 @@ with every reference/fast equivalence contract the library claims:
 * cached vs uncached query embeddings (``REPRO_EMBED_CACHE``);
 * replicated (r = 2, 3) vs single-shard retrieval;
 * sequential vs speculative/batched SparseQuery steps;
-* scalar vs vectorized NDCG list similarity.
+* scalar vs vectorized NDCG list similarity;
+* micro-batched serving front end vs sequential replay against the bare
+  service (``repro.serving``).
 
 Each pair builds its own inputs deterministically from scalar case
 parameters, so the shrinker can minimize counterexamples by shrinking
@@ -40,6 +42,14 @@ from repro.resilience.config import ResilienceConfig
 from repro.retrieval.ann import IVFIndex
 from repro.retrieval.index import FeatureIndex
 from repro.retrieval.nodes import ShardedGallery
+from repro.serving import (
+    ServingConfig,
+    ServingFrontend,
+    TenantPolicy,
+    TenantSpec,
+    generate_timeline,
+    replay_sequential,
+)
 
 # ---------------------------------------------------------------------- #
 # conv einsum vs GEMM
@@ -379,6 +389,93 @@ def _ndcg_lists(seed: int, num_lists: int, length: int, universe: int):
     lists_a = [draw_id_list(rng, universe, length) for _ in range(num_lists)]
     list_b = draw_id_list(rng, universe, length)
     return lists_a, list_b
+
+
+# ---------------------------------------------------------------------- #
+# micro-batched serving front end vs sequential replay
+# ---------------------------------------------------------------------- #
+def _serving_run(batched: bool, seed: int, tenants: int, per_tenant: int,
+                 batch: int, limited: int):
+    """One tenant timeline through the front end (or the bare service).
+
+    The contract under test: with every request admitted into an
+    uncontended queue (capacity exceeds the offered load, all
+    interactive, no global budget), micro-batching is purely a
+    performance transform — statuses, retrieval lists, per-tenant served
+    counts, and the service ledger match the sequential replay exactly.
+    Rate limiting stays in scope because admission decisions depend only
+    on arrival times, never on batch state.
+    """
+    from repro.qa.world import tiny_videos
+
+    world = build_world(seed % 997, num_videos=6)
+    videos = tiny_videos(seed + 3, 3, label_base=5)
+    specs = [TenantSpec(f"tenant-{i}", 150.0 + 50.0 * i, per_tenant)
+             for i in range(tenants)]
+    timeline = generate_timeline(seed + 11, specs, videos)
+    config = ServingConfig(
+        max_batch_size=batch, max_wait_s=0.003, queue_capacity=512,
+        default_tenant=TenantPolicy(rate_per_s=120.0 if limited else None,
+                                    burst=2))
+    if batched:
+        report = ServingFrontend(world.service, config).run(timeline)
+    else:
+        report = replay_sequential(timeline, world.service, config)
+    return {
+        "statuses": [response.status for response in report.responses],
+        "lists": [response.result for response in report.responses
+                  if response.ok],
+        "served_by_tenant": report.served_by_tenant,
+        "ledger": (world.service.query_count,
+                   world.service.queries_issued,
+                   world.service.queries_refunded),
+    }
+
+
+def _serving_compare(reference, fast):
+    assert reference["statuses"] == fast["statuses"], (
+        f"statuses diverged:\n  seq: {reference['statuses']}\n"
+        f"  batched: {fast['statuses']}")
+    assert reference["served_by_tenant"] == fast["served_by_tenant"], (
+        f"per-tenant counts diverged: {reference['served_by_tenant']} vs "
+        f"{fast['served_by_tenant']}")
+    assert reference["ledger"] == fast["ledger"], (
+        f"service ledger diverged: {reference['ledger']} vs "
+        f"{fast['ledger']}")
+    # Rankings must match exactly; scores only to float tolerance — the
+    # embedding forward is batched (one model batch of B vs B batches of
+    # one), and BLAS picks different kernels per batch shape, so the
+    # last bit can differ (same contract as
+    # ``test_query_batch_matches_sequential``).
+    for i, (seq_list, batched_list) in enumerate(
+            zip(reference["lists"], fast["lists"])):
+        assert seq_list.ids == batched_list.ids, (
+            f"list[{i}] ranking diverged: {seq_list.ids} vs "
+            f"{batched_list.ids}")
+        np.testing.assert_allclose(
+            [entry.score for entry in seq_list],
+            [entry.score for entry in batched_list], rtol=1e-9, atol=1e-12)
+
+
+register(OraclePair(
+    name="serving.batched_vs_sequential",
+    reference=lambda **case: _serving_run(False, **case),
+    fast=lambda **case: _serving_run(True, **case),
+    strategy=Strategy(
+        "serving",
+        lambda rng: {"seed": int(rng.integers(0, 2**31)),
+                     "tenants": int(rng.integers(1, 4)),
+                     "per_tenant": int(rng.integers(1, 6)),
+                     "batch": int(rng.integers(2, 7)),
+                     "limited": int(rng.integers(0, 2))},
+        {"tenants": shrink_int(1), "per_tenant": shrink_int(1),
+         "batch": shrink_int(1)},
+    ),
+    compare=_serving_compare,
+    cases=3,
+    description="micro-batched serving front end matches sequential replay",
+    guards=("REPRO_SERVING_BATCH",),
+))
 
 
 register(OraclePair(

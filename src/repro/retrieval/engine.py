@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import RetrievalUnavailable
 from repro.models.feature_extractor import FeatureExtractor
 from repro.perf.cache import EmbeddingCache, content_key
 from repro.resilience.config import ResilienceConfig
@@ -107,14 +108,40 @@ class RetrievalEngine:
 
         Identical results to per-video :meth:`retrieve` calls; the model
         forward, gallery scoring, and top-k all run batched.
+
+        With a :class:`~repro.resilience.FaultPlan` installed the gallery
+        legs run per query instead: the fault clock, rng draws, and the
+        index at which an outage interrupts the batch are then all
+        bit-identical to a sequential loop.  A propagating
+        :class:`~repro.errors.RetrievalUnavailable` is annotated with the
+        already-served prefix (``served``, ``served_count``) so callers
+        can settle per-video serve-or-refund accounting.
         """
         if not videos:
             return []
         features = self.embed_queries(videos)
-        return [
-            RetrievalList(entries)
-            for entries in self.gallery.search_batch(features, m)
-        ]
+        if getattr(self.gallery, "fault_plan", None) is None:
+            try:
+                return [
+                    RetrievalList(entries)
+                    for entries in self.gallery.search_batch(features, m)
+                ]
+            except RetrievalUnavailable as exc:
+                # Unavailability without a fault plan is node *state*
+                # (downed nodes), constant across the batch: a sequential
+                # loop would have failed on its very first query.
+                exc.served = []
+                exc.served_count = 0
+                raise
+        results: list[RetrievalList] = []
+        for feature in features:
+            try:
+                results.append(RetrievalList(self.gallery.search(feature, m)))
+            except RetrievalUnavailable as exc:
+                exc.served = results
+                exc.served_count = len(results)
+                raise
+        return results
 
     def retrieve_by_feature(self, feature: np.ndarray, m: int) -> RetrievalList:
         """Search with a precomputed embedding (used by defenses)."""

@@ -323,6 +323,15 @@ class ShardedGallery:
                       buckets=NODE_LATENCY_BUCKETS,
                       node=node.node_id).observe(
                           time.perf_counter() - start)
+        if not partials and self._row_count:
+            # Zero live nodes is not a degraded answer — it is no answer.
+            # Mirror the resilient scatter's coverage-loss behaviour
+            # instead of silently returning an empty retrieval list (an
+            # attacker would read that as "the gallery is empty").
+            counter("resilience.uncovered_queries").inc(weight)
+            raise RetrievalUnavailable(
+                "no live node answered the scatter "
+                f"({self._row_count} rows unreachable)")
         if len(partials) < len(self.nodes):
             counter("gallery.degraded_searches").inc(weight)
         return partials

@@ -182,13 +182,28 @@ class RetrievalService:
             gauge("retrieval.budget_remaining").set(
                 self.config.query_budget - self.query_count)
 
+    def _unissue(self, count: int) -> None:
+        """Roll back queries a sequential caller would never have sent.
+
+        ``query_batch`` pre-accounts the whole batch before dispatch; on
+        a mid-batch failure the suffix behind the failing video was never
+        issued in sequential semantics, so — unlike :meth:`_refund`,
+        which keeps the query on the issued side of the ledger — it is
+        removed from both ``query_count`` and ``queries_issued``.
+        """
+        self.query_count -= int(count)
+        self.queries_issued -= int(count)
+        if self.config.query_budget is not None:
+            gauge("retrieval.budget_remaining").set(
+                self.config.query_budget - self.query_count)
+
     def _prepare(self, video: Video, record: bool = True) -> Video:
         """Quantize + run the defense preprocessor on one query video."""
         if self.config.quantize_queries:
             from repro.video.transforms import dequantize_uint8, quantize_uint8
 
             video = dequantize_uint8(quantize_uint8(video), video.label,
-                                     video.video_id)
+                                     video.video_id, video.metadata)
             if record:
                 counter("retrieval.quantized_queries").inc()
         if self.config.preprocessor is not None:
@@ -227,6 +242,15 @@ class RetrievalService:
         the ``i``-th video the counter stops exactly where a sequential
         loop would have, and the exception propagates before any result
         is returned.
+
+        A mid-batch :class:`~repro.errors.RetrievalUnavailable` is also
+        settled with sequential semantics (serve-or-refund per video):
+        the served prefix stays charged, exactly the failing query is
+        refunded, and the un-dispatched suffix is rolled off the ledger
+        entirely — so checkpoint/resume query counts are bit-identical
+        to a sequential loop hitting the same outage.  The propagated
+        exception carries the prefix (``served``/``served_count``) for
+        callers that deliver partial results, e.g. the serving front end.
         """
         if "query" in self.__dict__:
             # The instance's query entry point was overridden (wrapped by a
@@ -242,8 +266,10 @@ class RetrievalService:
             try:
                 return self.engine.retrieve_batch(
                     prepared, self.config.m if m is None else int(m))
-            except RetrievalUnavailable:
-                self._refund(len(prepared))
+            except RetrievalUnavailable as exc:
+                served = int(getattr(exc, "served_count", 0))
+                self._refund(1)
+                self._unissue(len(prepared) - served - 1)
                 raise
 
     # -------------------------------------------------------------- #

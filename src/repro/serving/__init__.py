@@ -1,0 +1,63 @@
+"""repro.serving — deterministic traffic front end for retrieval.
+
+The layer between tenants and :class:`~repro.retrieval.service.RetrievalService`:
+a virtual-clock event-loop scheduler that coalesces concurrent queries
+into micro-batches, per-tenant admission control (token-bucket rate
+limits and query budgets under the service's global budget), and a
+bounded queue with priority-aware load shedding.  Batching is provably
+cosmetic — the ``serving.batched_vs_sequential`` qa oracle replays every
+timeline sequentially and demands identical retrieval lists and ledgers.
+
+>>> from repro.serving import ServingFrontend, ServingConfig, Request
+>>> frontend = ServingFrontend(service, ServingConfig(max_batch_size=8))
+>>> report = frontend.run(requests)
+>>> report.throughput_qps, report.latency_percentile(99)
+"""
+
+from repro.serving.admission import (
+    AdmissionController,
+    Rejection,
+    TenantLedger,
+    TokenBucket,
+)
+from repro.serving.clock import VirtualClock
+from repro.serving.config import (
+    PRIORITIES,
+    ServingConfig,
+    TenantPolicy,
+    default_batch_size,
+)
+from repro.serving.frontend import (
+    Request,
+    Response,
+    ServingFrontend,
+    ServingReport,
+    replay_sequential,
+)
+from repro.serving.queue import BoundedQueue
+from repro.serving.workload import (
+    TenantSpec,
+    closed_spaced_timeline,
+    generate_timeline,
+)
+
+__all__ = [
+    "AdmissionController",
+    "BoundedQueue",
+    "PRIORITIES",
+    "Rejection",
+    "Request",
+    "Response",
+    "ServingConfig",
+    "ServingFrontend",
+    "ServingReport",
+    "TenantLedger",
+    "TenantPolicy",
+    "TenantSpec",
+    "TokenBucket",
+    "VirtualClock",
+    "closed_spaced_timeline",
+    "default_batch_size",
+    "generate_timeline",
+    "replay_sequential",
+]

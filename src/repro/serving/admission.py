@@ -1,0 +1,138 @@
+"""Per-tenant admission control: token buckets and query budgets.
+
+Admission decisions depend only on the virtual arrival time and the
+tenant's own history, never on queue or batch state — so they are
+identical whatever batch size the scheduler runs with.  That invariance
+is what lets the serving oracle replay the same timeline sequentially
+against a bare :class:`~repro.retrieval.service.RetrievalService` and
+demand bit-identical per-tenant accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs import counter
+from repro.serving.config import ServingConfig, TenantPolicy
+
+
+class TokenBucket:
+    """The classic rate limiter, refilled on the virtual clock."""
+
+    def __init__(self, rate_per_s: float, burst: int) -> None:
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last_s = 0.0
+
+    def _refill(self, now_s: float) -> None:
+        if now_s > self._last_s:
+            self.tokens = min(
+                self.burst,
+                self.tokens + (now_s - self._last_s) * self.rate_per_s)
+            self._last_s = now_s
+
+    def try_take(self, now_s: float) -> float:
+        """Take one token; returns 0.0 on success, else the retry-after
+        hint in seconds until a token will be available."""
+        self._refill(now_s)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate_per_s
+
+
+@dataclass
+class TenantLedger:
+    """Per-tenant conservation ledger, mirroring the service's.
+
+    ``admitted == served + refunded + in_flight`` at all times, where
+    in-flight requests are the ones still queued or mid-dispatch.
+    """
+
+    policy: TenantPolicy
+    admitted: int = 0
+    served: int = 0
+    refunded: int = 0
+    rejected: int = 0
+    bucket: TokenBucket | None = field(default=None)
+
+    @property
+    def in_flight(self) -> int:
+        return self.admitted - self.served - self.refunded
+
+    @property
+    def budget_used(self) -> int:
+        """Budget slots currently held (served + still in flight)."""
+        return self.admitted - self.refunded
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """Why a request was not admitted, with the 429 retry hint."""
+
+    reason: str  # "rate_limited" | "tenant_budget"
+    retry_after_s: float | None = None
+
+
+class AdmissionController:
+    """Applies :class:`TenantPolicy` rules at arrival time."""
+
+    def __init__(self, config: ServingConfig) -> None:
+        self.config = config
+        self.tenants: dict[str, TenantLedger] = {}
+
+    def ledger(self, tenant: str) -> TenantLedger:
+        ledger = self.tenants.get(tenant)
+        if ledger is None:
+            policy = self.config.policy_for(tenant)
+            bucket = None
+            if policy.rate_per_s is not None:
+                bucket = TokenBucket(policy.rate_per_s, policy.burst)
+            ledger = TenantLedger(policy=policy, bucket=bucket)
+            self.tenants[tenant] = ledger
+        return ledger
+
+    def admit(self, tenant: str, now_s: float) -> Rejection | None:
+        """Admit one request at virtual time ``now_s``.
+
+        Returns ``None`` on success (the tenant's ``admitted`` count is
+        bumped) or a :class:`Rejection` explaining the refusal.
+        """
+        ledger = self.ledger(tenant)
+        budget = ledger.policy.query_budget
+        if budget is not None and ledger.budget_used >= budget:
+            ledger.rejected += 1
+            counter("serving.rejected", tenant=tenant,
+                    reason="tenant_budget").inc()
+            return Rejection("tenant_budget", None)
+        if ledger.bucket is not None:
+            retry_after = ledger.bucket.try_take(now_s)
+            if retry_after > 0.0:
+                ledger.rejected += 1
+                counter("serving.rejected", tenant=tenant,
+                        reason="rate_limited").inc()
+                return Rejection("rate_limited", retry_after)
+        ledger.admitted += 1
+        return None
+
+    def mark_served(self, tenant: str) -> None:
+        ledger = self.ledger(tenant)
+        ledger.served += 1
+        counter("serving.served", tenant=tenant).inc()
+
+    def refund(self, tenant: str) -> None:
+        """Hand an admitted-but-unserved request's slot back (shed,
+        outage, budget): the tenant's budget and conservation ledger
+        treat it as never sent."""
+        ledger = self.ledger(tenant)
+        ledger.refunded += 1
+        counter("serving.tenant_refunds", tenant=tenant).inc()
+
+    def served_by_tenant(self) -> dict[str, int]:
+        """Per-tenant served counts (the oracle compares these)."""
+        return {tenant: ledger.served
+                for tenant, ledger in sorted(self.tenants.items())}
+
+
+__all__ = ["AdmissionController", "Rejection", "TenantLedger", "TokenBucket"]

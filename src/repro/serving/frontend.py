@@ -1,0 +1,408 @@
+"""The deterministic traffic front end over :class:`RetrievalService`.
+
+This is the API surface the paper's attacker actually faces in
+production: many tenants submit queries concurrently, an admission layer
+rate-limits and budgets each of them, a bounded queue absorbs bursts,
+and a micro-batching scheduler coalesces admitted queries into
+``engine.retrieve_batch`` dispatches under a max-batch-size /
+max-wait-time policy.
+
+Everything runs on a :class:`~repro.serving.clock.VirtualClock` driven
+by an event loop, so a request timeline replays bit-identically: same
+admission decisions, same batch boundaries, same latency histograms.
+The scheduler's core contract — enforced by the
+``serving.batched_vs_sequential`` qa oracle — is that batching is purely
+a performance transform: retrieval lists, per-tenant served counts, and
+the service's query ledger are identical to the same timeline replayed
+one query at a time against the bare service
+(:func:`replay_sequential`).
+
+Failure semantics: a mid-batch :class:`~repro.errors.RetrievalUnavailable`
+delivers the served prefix, fails exactly the interrupted request, and
+*sheds* the rest of the batch and every queued request — with exact
+refunds on both the service ledger (see
+``RetrievalService.query_batch``) and the per-tenant ledgers, so the
+qa budget-conservation invariant holds through an outage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import (
+    QueryBudgetExceeded,
+    RetrievalUnavailable,
+    ServiceOverloaded,
+)
+from repro.obs import counter, gauge, histogram, span
+from repro.retrieval.lists import RetrievalList
+from repro.retrieval.service import RetrievalService
+from repro.serving.admission import AdmissionController
+from repro.serving.clock import VirtualClock
+from repro.serving.config import PRIORITIES, ServingConfig
+from repro.serving.queue import BoundedQueue
+from repro.video.types import Video
+
+#: Virtual-latency histogram buckets (milliseconds to seconds).
+LATENCY_BUCKETS = (1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One tenant query arriving at a virtual timestamp."""
+
+    tenant: str
+    video: Video
+    arrival_s: float
+    priority: str | None = None  # None → the tenant policy's default
+    request_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.priority is not None and self.priority not in PRIORITIES:
+            raise ValueError(f"priority must be one of {PRIORITIES}")
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+
+
+@dataclass
+class Response:
+    """The front end's answer to one request."""
+
+    request: Request
+    status: str  # "ok" | "rejected" | "shed" | "unavailable" | "budget"
+    result: RetrievalList | None = None
+    reason: str | None = None
+    error: Exception | None = None
+    retry_after_s: float | None = None
+    completed_s: float | None = None
+    latency_s: float | None = None
+    batch_size: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class ServingReport:
+    """Everything one timeline replay produced."""
+
+    responses: list[Response]
+    served_by_tenant: dict[str, int]
+    makespan_s: float
+    batches: int
+    dispatched: int
+
+    @property
+    def served(self) -> int:
+        return sum(1 for r in self.responses if r.ok)
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for r in self.responses if r.status == "rejected")
+
+    @property
+    def shed(self) -> int:
+        return sum(1 for r in self.responses if r.status == "shed")
+
+    @property
+    def shed_rate(self) -> float:
+        total = len(self.responses)
+        return (self.shed / total) if total else 0.0
+
+    @property
+    def throughput_qps(self) -> float:
+        """Served queries per *virtual* second of makespan."""
+        return self.served / self.makespan_s if self.makespan_s > 0 else 0.0
+
+    def latencies(self, priority: str | None = None) -> list[float]:
+        return [
+            r.latency_s for r in self.responses
+            if r.ok and (priority is None
+                         or (r.request.priority or "interactive") == priority)
+        ]
+
+    def latency_percentile(self, q: float,
+                           priority: str | None = None) -> float:
+        values = self.latencies(priority)
+        return float(np.percentile(values, q)) if values else float("nan")
+
+    def mean_batch_size(self) -> float:
+        return self.dispatched / self.batches if self.batches else 0.0
+
+
+class ServingFrontend:
+    """Micro-batching scheduler + admission control over one service.
+
+    A front end is stateless between :meth:`run` calls: each call builds
+    a fresh clock, queue, and admission ledger, so the same timeline
+    always produces the same report.
+    """
+
+    def __init__(self, service: RetrievalService,
+                 config: ServingConfig | None = None) -> None:
+        self.service = service
+        self.config = config if config is not None else ServingConfig()
+
+    # -------------------------------------------------------------- #
+    # Event loop
+    # -------------------------------------------------------------- #
+    def run(self, requests: list[Request]) -> ServingReport:
+        """Replay a request timeline through the scheduler."""
+        config = self.config
+        clock = VirtualClock()
+        queue = BoundedQueue(config.queue_capacity, config.shed_policy)
+        admission = AdmissionController(config)
+        arrivals = sorted(enumerate(requests),
+                          key=lambda pair: pair[1].arrival_s)
+        responses: dict[int, Response] = {}
+        state = _RunState(clock=clock, queue=queue, admission=admission,
+                          responses=responses)
+
+        with span("serving.run", requests=len(requests)):
+            cursor = 0
+            while cursor < len(arrivals) or len(queue):
+                if not len(queue):
+                    if cursor >= len(arrivals):
+                        break
+                    self._admit(state, *arrivals[cursor])
+                    cursor += 1
+                    continue
+                if len(queue) >= config.max_batch_size or \
+                        cursor >= len(arrivals):
+                    ready_s = clock.now_s
+                else:
+                    ready_s = queue.oldest_enqueued_s + config.max_wait_s
+                dispatch_s = max(ready_s, state.free_at_s, clock.now_s)
+                if cursor < len(arrivals) and \
+                        arrivals[cursor][1].arrival_s <= dispatch_s:
+                    self._admit(state, *arrivals[cursor])
+                    cursor += 1
+                    continue
+                clock.advance_to(dispatch_s)
+                self._dispatch(state)
+
+        ordered = [responses[index] for index in range(len(requests))]
+        makespan = max(
+            [clock.now_s, state.free_at_s]
+            + [r.completed_s for r in ordered if r.completed_s is not None])
+        return ServingReport(
+            responses=ordered,
+            served_by_tenant=admission.served_by_tenant(),
+            makespan_s=makespan,
+            batches=state.batches,
+            dispatched=state.dispatched,
+        )
+
+    # -------------------------------------------------------------- #
+    # Arrival handling
+    # -------------------------------------------------------------- #
+    def _admit(self, state: "_RunState", index: int,
+               request: Request) -> None:
+        clock, queue, admission = state.clock, state.queue, state.admission
+        clock.advance_to(max(clock.now_s, request.arrival_s))
+        now = clock.now_s
+        tenant = request.tenant
+        counter("serving.requests", tenant=tenant).inc()
+        rejection = admission.admit(tenant, now)
+        if rejection is not None:
+            error = ServiceOverloaded(
+                f"tenant {tenant!r} {rejection.reason}",
+                retry_after_s=rejection.retry_after_s) \
+                if rejection.reason != "tenant_budget" else \
+                QueryBudgetExceeded(f"tenant {tenant!r} budget exhausted")
+            state.responses[index] = Response(
+                request, "rejected", reason=rejection.reason, error=error,
+                retry_after_s=rejection.retry_after_s, completed_s=now)
+            return
+        priority = request.priority or admission.ledger(tenant).policy.priority
+        try:
+            evicted = queue.push((index, request), priority, now)
+        except OverflowError:
+            admission.refund(tenant)
+            retry_after = max(state.free_at_s - now, 0.0) + self.config.max_wait_s
+            counter("serving.rejected", tenant=tenant,
+                    reason="queue_full").inc()
+            state.responses[index] = Response(
+                request, "rejected", reason="queue_full",
+                error=ServiceOverloaded("admission queue full",
+                                        retry_after_s=retry_after),
+                retry_after_s=retry_after, completed_s=now)
+            return
+        if evicted is not None:
+            shed_index, shed_request = evicted
+            self._shed(state, shed_index, shed_request, "priority_eviction")
+        gauge("serving.queue_depth").set(len(queue))
+
+    def _shed(self, state: "_RunState", index: int, request: Request,
+              reason: str) -> None:
+        """Drop an admitted-but-unserved request, refunding its tenant."""
+        state.admission.refund(request.tenant)
+        counter("serving.shed", reason=reason).inc()
+        retry_after = self.config.max_wait_s
+        state.responses[index] = Response(
+            request, "shed", reason=reason,
+            error=ServiceOverloaded(f"request shed ({reason})",
+                                    retry_after_s=retry_after),
+            retry_after_s=retry_after, completed_s=state.clock.now_s)
+
+    # -------------------------------------------------------------- #
+    # Dispatch
+    # -------------------------------------------------------------- #
+    def _dispatch(self, state: "_RunState") -> None:
+        config, clock = self.config, state.clock
+        entries = state.queue.pop_batch(config.max_batch_size)
+        gauge("serving.queue_depth").set(len(state.queue))
+        batch = [item for item, _ in entries]
+
+        # Global-budget pre-split: a sequential loop would have each
+        # over-budget query raise QueryBudgetExceeded *before* issuing
+        # it, so those requests never reach the service at all.
+        budget = self.service.query_budget
+        room = len(batch) if budget is None else \
+            max(0, budget - self.service.query_count)
+        for index, request in batch[room:]:
+            state.admission.refund(request.tenant)
+            counter("serving.rejected", tenant=request.tenant,
+                    reason="global_budget").inc()
+            state.responses[index] = Response(
+                request, "budget", reason="global_budget",
+                error=QueryBudgetExceeded("service query budget exhausted"),
+                completed_s=clock.now_s)
+        batch = batch[:room]
+        if not batch:
+            return
+
+        cost_s = config.service_base_s + \
+            config.service_per_item_s * len(batch)
+        done_s = clock.now_s + cost_s
+        state.free_at_s = done_s
+        state.batches += 1
+        state.dispatched += len(batch)
+        histogram("serving.batch_size",
+                  buckets=(1, 2, 4, 8, 16, 32, 64)).observe(len(batch))
+        try:
+            results = self.service.query_batch(
+                [request.video for _, request in batch])
+        except RetrievalUnavailable as exc:
+            self._settle_outage(state, batch, exc, done_s)
+            return
+        for (index, request), result in zip(batch, results):
+            self._deliver(state, index, request, result, done_s, len(batch))
+
+    def _deliver(self, state: "_RunState", index: int, request: Request,
+                 result: RetrievalList, done_s: float,
+                 batch_size: int) -> None:
+        state.admission.mark_served(request.tenant)
+        latency = done_s - request.arrival_s
+        priority = request.priority or \
+            state.admission.ledger(request.tenant).policy.priority
+        histogram("serving.latency_s", buckets=LATENCY_BUCKETS,
+                  priority=priority).observe(latency)
+        state.responses[index] = Response(
+            request, "ok", result=result, completed_s=done_s,
+            latency_s=latency, batch_size=batch_size)
+
+    def _settle_outage(self, state: "_RunState",
+                       batch: list[tuple[int, Request]],
+                       exc: RetrievalUnavailable, done_s: float) -> None:
+        """Deliver the served prefix, fail the interrupted request, and
+        shed the suffix plus everything still queued.
+
+        ``RetrievalService.query_batch`` has already settled the service
+        ledger with sequential semantics (prefix charged, failing query
+        refunded, suffix never issued); here the per-tenant ledgers and
+        responses follow suit.
+        """
+        served = list(getattr(exc, "served", []) or [])
+        for (index, request), result in zip(batch, served):
+            self._deliver(state, index, request, result, done_s, len(batch))
+        failing_index, failing_request = batch[len(served)]
+        state.admission.refund(failing_request.tenant)
+        counter("serving.unavailable", tenant=failing_request.tenant).inc()
+        state.responses[failing_index] = Response(
+            failing_request, "unavailable", reason="retrieval_unavailable",
+            error=exc, completed_s=done_s)
+        for index, request in batch[len(served) + 1:]:
+            self._shed(state, index, request, "outage")
+        for index, request in state.queue.drain():
+            self._shed(state, index, request, "outage")
+        gauge("serving.queue_depth").set(0)
+
+
+@dataclass
+class _RunState:
+    """Mutable per-run scheduler state (one :meth:`run` call)."""
+
+    clock: VirtualClock
+    queue: BoundedQueue
+    admission: AdmissionController
+    responses: dict[int, Response]
+    free_at_s: float = 0.0
+    batches: int = 0
+    dispatched: int = 0
+
+
+# ------------------------------------------------------------------ #
+# The sequential reference
+# ------------------------------------------------------------------ #
+def replay_sequential(requests: list[Request], service: RetrievalService,
+                      config: ServingConfig | None = None) -> ServingReport:
+    """Replay a timeline one query at a time against a bare service.
+
+    This is the oracle reference for :class:`ServingFrontend`: the same
+    admission rules (token buckets and tenant budgets depend only on
+    arrival times, so their decisions are batching-invariant), but every
+    admitted request goes straight through ``service.query`` in arrival
+    order with no queueing or coalescing.  Under a no-shed load the
+    micro-batched front end must match it exactly — retrieval lists,
+    per-tenant served counts, and the service's query ledger.
+    """
+    config = config if config is not None else ServingConfig()
+    admission = AdmissionController(config)
+    arrivals = sorted(enumerate(requests), key=lambda pair: pair[1].arrival_s)
+    responses: dict[int, Response] = {}
+    served = 0
+    last_s = 0.0
+    for index, request in arrivals:
+        now = request.arrival_s
+        last_s = max(last_s, now)
+        counter("serving.requests", tenant=request.tenant).inc()
+        rejection = admission.admit(request.tenant, now)
+        if rejection is not None:
+            responses[index] = Response(
+                request, "rejected", reason=rejection.reason,
+                retry_after_s=rejection.retry_after_s, completed_s=now)
+            continue
+        try:
+            result = service.query(request.video)
+        except QueryBudgetExceeded as exc:
+            admission.refund(request.tenant)
+            responses[index] = Response(request, "budget",
+                                        reason="global_budget", error=exc,
+                                        completed_s=now)
+            continue
+        except RetrievalUnavailable as exc:
+            admission.refund(request.tenant)
+            responses[index] = Response(request, "unavailable",
+                                        reason="retrieval_unavailable",
+                                        error=exc, completed_s=now)
+            continue
+        admission.mark_served(request.tenant)
+        served += 1
+        responses[index] = Response(request, "ok", result=result,
+                                    completed_s=now, latency_s=0.0,
+                                    batch_size=1)
+    return ServingReport(
+        responses=[responses[index] for index in range(len(requests))],
+        served_by_tenant=admission.served_by_tenant(),
+        makespan_s=last_s,
+        batches=served,
+        dispatched=served,
+    )
+
+
+__all__ = ["Request", "Response", "ServingFrontend", "ServingReport",
+           "replay_sequential", "LATENCY_BUCKETS"]

@@ -1,0 +1,97 @@
+"""Bounded admission queue with priority classes and load shedding.
+
+Two priority classes (``interactive`` ahead of ``bulk``), FIFO within a
+class, and a hard capacity.  When the queue is full the shed policy
+decides who pays: ``"shed-bulk"`` lets an interactive arrival evict the
+*youngest* queued bulk request (the one that has waited least loses
+least), ``"reject-new"`` always bounces the newcomer.  Everything is
+plain deterministic data structure work — no randomness, no wall clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.serving.config import PRIORITIES
+
+_RANK = {name: rank for rank, name in enumerate(PRIORITIES)}
+
+
+@dataclass(order=True)
+class _Entry:
+    rank: int
+    seq: int
+    item: Any = field(compare=False)
+    enqueued_s: float = field(compare=False)
+
+
+class BoundedQueue:
+    """Priority FIFO with a capacity bound and bulk-shedding support."""
+
+    def __init__(self, capacity: int, shed_policy: str = "shed-bulk") -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.shed_policy = shed_policy
+        self._heap: list[_Entry] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        return len(self._heap) >= self.capacity
+
+    def push(self, item: Any, priority: str, now_s: float) -> Any | None:
+        """Enqueue ``item``; returns the *evicted* item if shedding made
+        room, or raises :class:`OverflowError` when the newcomer must be
+        rejected instead (the caller turns that into a 429)."""
+        rank = _RANK[priority]
+        evicted = None
+        if self.full:
+            if self.shed_policy == "shed-bulk" and rank == _RANK["interactive"]:
+                evicted = self._evict_youngest_bulk()
+            if evicted is None:
+                raise OverflowError("queue full")
+        heapq.heappush(self._heap, _Entry(rank, self._seq, item, float(now_s)))
+        self._seq += 1
+        return evicted
+
+    def _evict_youngest_bulk(self) -> Any | None:
+        bulk_rank = _RANK["bulk"]
+        youngest = None
+        for entry in self._heap:
+            if entry.rank == bulk_rank and (
+                    youngest is None or entry.seq > youngest.seq):
+                youngest = entry
+        if youngest is None:
+            return None
+        self._heap.remove(youngest)
+        heapq.heapify(self._heap)
+        return youngest.item
+
+    def pop_batch(self, limit: int) -> list[tuple[Any, float]]:
+        """Dequeue up to ``limit`` items in (priority, FIFO) order,
+        returning ``(item, enqueued_s)`` pairs."""
+        batch = []
+        while self._heap and len(batch) < limit:
+            entry = heapq.heappop(self._heap)
+            batch.append((entry.item, entry.enqueued_s))
+        return batch
+
+    def drain(self) -> list[Any]:
+        """Remove and return every queued item (outage shedding)."""
+        items = [entry.item for entry in sorted(self._heap)]
+        self._heap.clear()
+        return items
+
+    @property
+    def oldest_enqueued_s(self) -> float:
+        """Enqueue time of the oldest entry (min over the queue)."""
+        return min(entry.enqueued_s for entry in self._heap)
+
+
+__all__ = ["BoundedQueue"]

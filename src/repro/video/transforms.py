@@ -29,9 +29,15 @@ def quantize_uint8(video: Video) -> np.ndarray:
 
 
 def dequantize_uint8(pixels: np.ndarray, label: int = -1,
-                     video_id: str = "") -> Video:
-    """Invert :func:`quantize_uint8` back into a float video."""
-    return Video(pixels.astype(np.float64) / 255.0, label, video_id)
+                     video_id: str = "", metadata: dict | None = None) -> Video:
+    """Invert :func:`quantize_uint8` back into a float video.
+
+    ``metadata`` is carried through (copied, like
+    :func:`uniform_temporal_sample` does) so a quantization round trip
+    does not strip it from the video.
+    """
+    return Video(pixels.astype(np.float64) / 255.0, label, video_id,
+                 {} if metadata is None else dict(metadata))
 
 
 def normalize_clip(video: Video, mean: float = 0.5, std: float = 0.5) -> np.ndarray:

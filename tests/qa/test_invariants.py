@@ -18,6 +18,7 @@ from repro.qa.invariants import (
     spa_fraction,
 )
 from repro.qa.world import build_world
+from repro.resilience import FaultPlan
 
 
 # ---------------------------------------------------------------------- #
@@ -123,6 +124,24 @@ def test_conservation_holds_across_refunds(budget_ledger):
     world.service.query(world.original)
     budget_ledger(world.service)
     assert world.service.query_count == 2
+
+
+def test_conservation_holds_across_a_mid_batch_outage(budget_ledger):
+    # A fault-plan outage window interrupts query_batch partway: the
+    # served prefix stays charged, exactly the failing query is refunded,
+    # and the suffix is rolled off both sides of the ledger.
+    world = build_world(61, num_nodes=1)
+    with FaultPlan().outage("node-0", 2, 6).install(world.engine.gallery):
+        with pytest.raises(RetrievalUnavailable):
+            world.service.query_batch(world.gallery_videos[:5])
+    budget_ledger(world.service)
+    assert world.service.query_count == 2
+    assert world.service.queries_refunded == 1
+    assert world.service.queries_issued == 3
+    # Once the outage is lifted the ledger keeps balancing.
+    world.service.query(world.original)
+    budget_ledger(world.service)
+    assert world.service.query_count == 3
 
 
 def test_conservation_detects_a_leak():

@@ -21,6 +21,7 @@ REQUIRED = {
     "engine.cached_vs_uncached",
     "gallery.replicated_vs_single",
     "sparse_query.sequential_vs_speculative",
+    "serving.batched_vs_sequential",
 }
 
 

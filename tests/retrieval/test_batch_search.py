@@ -3,10 +3,13 @@
 import numpy as np
 import pytest
 
+from repro.qa.world import build_world
+from repro.resilience import FaultPlan
 from repro.retrieval import (
     FeatureIndex,
     QueryBudgetExceeded,
     RetrievalService,
+    RetrievalUnavailable,
     ShardedGallery,
     cosine,
     negative_l2,
@@ -173,6 +176,50 @@ class TestServiceAndEngineBatch:
         with pytest.raises(QueryBudgetExceeded):
             service.query_batch(tiny_dataset.test[:4])
         assert service.query_count == 2
+
+    def test_mid_batch_outage_matches_sequential_accounting(self):
+        # Regression: a mid-batch RetrievalUnavailable used to refund the
+        # *entire* batch; a sequential loop serves the prefix, refunds
+        # exactly the failing query, and never issues the suffix.
+        batched_world = build_world(83, num_nodes=1)
+        with FaultPlan().outage("node-0", 2, 5).install(
+                batched_world.engine.gallery):
+            with pytest.raises(RetrievalUnavailable) as excinfo:
+                batched_world.service.query_batch(
+                    batched_world.gallery_videos[:4])
+        assert excinfo.value.served_count == 2
+
+        sequential_world = build_world(83, num_nodes=1)
+        sequential_results = []
+        with FaultPlan().outage("node-0", 2, 5).install(
+                sequential_world.engine.gallery):
+            with pytest.raises(RetrievalUnavailable):
+                for video in sequential_world.gallery_videos[:4]:
+                    sequential_results.append(
+                        sequential_world.service.query(video))
+
+        for attr in ("query_count", "queries_issued", "queries_refunded"):
+            assert getattr(batched_world.service, attr) == \
+                getattr(sequential_world.service, attr), attr
+        assert batched_world.service.query_count == 2
+        assert batched_world.service.queries_issued == 3
+        assert batched_world.service.queries_refunded == 1
+        # The exception carries the served prefix, bit-identical to the
+        # lists the sequential loop received before the outage.
+        assert [r.ids for r in excinfo.value.served] == \
+            [r.ids for r in sequential_results]
+
+    def test_whole_batch_outage_counts_like_a_first_query_failure(self):
+        world = build_world(83, num_nodes=2)
+        for node in world.engine.gallery.nodes:
+            node.take_down()
+        with pytest.raises(RetrievalUnavailable):
+            world.service.query_batch(world.gallery_videos[:3])
+        # Sequential semantics: the first query fails (issued + refunded),
+        # the rest are never sent.
+        assert world.service.query_count == 0
+        assert world.service.queries_issued == 1
+        assert world.service.queries_refunded == 1
 
     def test_retrieve_batch_matches_retrieve(self, tiny_victim, tiny_dataset):
         videos = tiny_dataset.test[:3]

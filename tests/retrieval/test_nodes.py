@@ -4,10 +4,12 @@ import numpy as np
 import pytest
 
 from repro.obs import counter, get_registry
+from repro.resilience import ResilienceConfig
 from repro.retrieval import (
     DataNode,
     FeatureIndex,
     NodeDownError,
+    RetrievalUnavailable,
     ShardedGallery,
 )
 
@@ -81,11 +83,42 @@ class TestFailureInjection:
         gallery.nodes[1].bring_up()
         assert len(gallery.search(rng.normal(size=5), k=12)) == 12
 
-    def test_all_nodes_down_returns_empty(self, gallery, rng):
+    def test_all_nodes_down_raises_unavailable(self, gallery, rng):
+        # Regression: the plain scatter used to return empty partials —
+        # and thus an empty retrieval list, as if the gallery held no
+        # videos — when zero nodes were live.
         for node in gallery.nodes:
             node.take_down()
-        assert gallery.search(rng.normal(size=5), k=5) == []
         assert gallery.live_nodes == []
+        with pytest.raises(RetrievalUnavailable):
+            gallery.search(rng.normal(size=5), k=5)
+
+    def test_all_nodes_down_raises_unavailable_batched(self, gallery, rng):
+        for node in gallery.nodes:
+            node.take_down()
+        with pytest.raises(RetrievalUnavailable):
+            gallery.search_batch(rng.normal(size=(3, 5)), k=5)
+
+    def test_all_nodes_down_raises_on_resilient_scatter_too(self, rng):
+        gallery = ShardedGallery(num_nodes=3,
+                                 resilience=ResilienceConfig(replication=1))
+        gallery.add_batch([f"v{i}" for i in range(6)], [0] * 6,
+                          rng.normal(size=(6, 5)))
+        for node in gallery.nodes:
+            node.take_down()
+        with pytest.raises(RetrievalUnavailable):
+            gallery.search(rng.normal(size=5), k=4)
+
+    def test_all_nodes_down_on_an_empty_gallery_is_still_empty(self, rng):
+        # No rows stored → an empty list is the *correct* answer, not an
+        # outage, whichever scatter strategy runs.
+        plain = ShardedGallery(num_nodes=2)
+        resilient = ShardedGallery(num_nodes=2,
+                                   resilience=ResilienceConfig(replication=1))
+        for gallery in (plain, resilient):
+            for node in gallery.nodes:
+                node.take_down()
+            assert gallery.search(rng.normal(size=5), k=3) == []
 
     def test_search_counts(self, gallery, rng):
         gallery.search(rng.normal(size=5), k=3)

@@ -12,6 +12,23 @@ def test_quantized_service_returns_lists(tiny_victim, tiny_dataset):
     assert len(result) == 5
 
 
+def test_quantization_preserves_video_metadata(tiny_victim, tiny_dataset):
+    """Regression: ``_prepare``'s quantize round trip dropped metadata,
+    so a defense preprocessor downstream saw an empty dict."""
+    seen = []
+
+    def spy(video):
+        seen.append(dict(video.metadata))
+        return video
+
+    service = RetrievalService(tiny_victim.engine, m=5, quantize_queries=True,
+                               preprocessor=spy)
+    video = tiny_dataset.test[0].copy()
+    video.metadata["tenant"] = "benign-0"
+    service.query(video)
+    assert seen == [{"tenant": "benign-0"}]
+
+
 def test_sub_quantum_perturbations_are_erased(tiny_victim, tiny_dataset):
     """Perturbations below half an 8-bit step cannot affect the service."""
     service = RetrievalService(tiny_victim.engine, m=6, quantize_queries=True)

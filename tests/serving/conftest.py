@@ -1,0 +1,17 @@
+"""Fixtures for the serving front-end suite: tiny worlds and timelines."""
+
+import pytest
+
+from repro.qa.world import build_world, tiny_videos
+
+
+@pytest.fixture
+def world():
+    """A fresh deterministic retrieval world per test."""
+    return build_world(31)
+
+
+@pytest.fixture
+def query_videos():
+    """A small pool of query videos, disjoint from the gallery labels."""
+    return tiny_videos(77, 4, label_base=5)

@@ -1,0 +1,89 @@
+"""Admission control: token buckets, tenant budgets, ledgers."""
+
+import pytest
+
+from repro.serving import (
+    AdmissionController,
+    ServingConfig,
+    TenantPolicy,
+    TokenBucket,
+)
+
+
+class TestTokenBucket:
+    def test_burst_then_rate_limited(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=2)
+        assert bucket.try_take(0.0) == 0.0
+        assert bucket.try_take(0.0) == 0.0
+        retry = bucket.try_take(0.0)
+        assert retry == pytest.approx(0.1)
+
+    def test_refill_restores_tokens(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=1)
+        assert bucket.try_take(0.0) == 0.0
+        assert bucket.try_take(0.0) > 0.0
+        assert bucket.try_take(0.2) == 0.0  # 0.2 s * 10/s = 2 tokens > 1
+
+    def test_tokens_cap_at_burst(self):
+        bucket = TokenBucket(rate_per_s=100.0, burst=2)
+        bucket.try_take(10.0)  # long idle; still only burst tokens
+        assert bucket.tokens == pytest.approx(1.0)
+
+    def test_retry_hint_shrinks_as_tokens_accrue(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=1)
+        bucket.try_take(0.0)
+        first = bucket.try_take(0.0)
+        later = bucket.try_take(0.05)
+        assert 0.0 < later < first
+
+
+class TestAdmissionController:
+    def config(self, **kwargs):
+        return ServingConfig(max_batch_size=2, **kwargs)
+
+    def test_unlimited_default_tenant_always_admits(self):
+        admission = AdmissionController(self.config())
+        for step in range(10):
+            assert admission.admit("anyone", float(step)) is None
+        assert admission.ledger("anyone").admitted == 10
+
+    def test_rate_limited_tenant_gets_retry_after(self):
+        config = self.config(
+            tenants={"slow": TenantPolicy(rate_per_s=10.0, burst=1)})
+        admission = AdmissionController(config)
+        assert admission.admit("slow", 0.0) is None
+        rejection = admission.admit("slow", 0.0)
+        assert rejection.reason == "rate_limited"
+        assert rejection.retry_after_s == pytest.approx(0.1)
+        assert admission.ledger("slow").rejected == 1
+
+    def test_tenant_budget_counts_only_unrefunded_slots(self):
+        config = self.config(
+            default_tenant=TenantPolicy(query_budget=2))
+        admission = AdmissionController(config)
+        assert admission.admit("t", 0.0) is None
+        assert admission.admit("t", 0.0) is None
+        assert admission.admit("t", 0.0).reason == "tenant_budget"
+        # A refund hands the slot back: the tenant may try again.
+        admission.refund("t")
+        assert admission.admit("t", 0.0) is None
+
+    def test_ledger_conservation(self):
+        admission = AdmissionController(self.config())
+        for _ in range(5):
+            admission.admit("t", 0.0)
+        admission.mark_served("t")
+        admission.mark_served("t")
+        admission.refund("t")
+        ledger = admission.ledger("t")
+        assert ledger.admitted == \
+            ledger.served + ledger.refunded + ledger.in_flight
+        assert ledger.in_flight == 2
+        assert ledger.budget_used == 4
+
+    def test_served_by_tenant_is_sorted(self):
+        admission = AdmissionController(self.config())
+        for tenant in ("zeta", "alpha"):
+            admission.admit(tenant, 0.0)
+            admission.mark_served(tenant)
+        assert list(admission.served_by_tenant()) == ["alpha", "zeta"]

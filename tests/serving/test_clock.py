@@ -1,0 +1,30 @@
+"""VirtualClock: monotonic, manually advanced, rewind-proof."""
+
+import pytest
+
+from repro.serving import VirtualClock
+
+
+def test_starts_at_zero_by_default():
+    assert VirtualClock().now_s == 0.0
+
+
+def test_advance_to_and_by_move_forward():
+    clock = VirtualClock(1.0)
+    assert clock.advance_to(1.5) == 1.5
+    assert clock.advance_by(0.25) == 1.75
+    assert clock.now_s == 1.75
+
+
+def test_advance_to_same_instant_is_allowed():
+    clock = VirtualClock(2.0)
+    assert clock.advance_to(2.0) == 2.0
+
+
+def test_rewind_raises():
+    clock = VirtualClock(3.0)
+    with pytest.raises(ValueError, match="rewind"):
+        clock.advance_to(2.9)
+    with pytest.raises(ValueError, match="rewind"):
+        clock.advance_by(-0.1)
+    assert clock.now_s == 3.0

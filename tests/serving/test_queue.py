@@ -1,0 +1,73 @@
+"""BoundedQueue: priority order, capacity, and shedding policies."""
+
+import pytest
+
+from repro.serving import BoundedQueue
+
+
+def test_priority_then_fifo_order():
+    queue = BoundedQueue(capacity=8)
+    queue.push("bulk-0", "bulk", 0.0)
+    queue.push("int-0", "interactive", 1.0)
+    queue.push("bulk-1", "bulk", 2.0)
+    queue.push("int-1", "interactive", 3.0)
+    items = [item for item, _ in queue.pop_batch(4)]
+    assert items == ["int-0", "int-1", "bulk-0", "bulk-1"]
+
+
+def test_pop_batch_respects_limit_and_reports_enqueue_times():
+    queue = BoundedQueue(capacity=4)
+    queue.push("a", "interactive", 0.5)
+    queue.push("b", "interactive", 1.5)
+    batch = queue.pop_batch(1)
+    assert batch == [("a", 0.5)]
+    assert len(queue) == 1
+    assert queue.oldest_enqueued_s == 1.5
+
+
+def test_shed_bulk_evicts_youngest_bulk_for_interactive():
+    queue = BoundedQueue(capacity=3, shed_policy="shed-bulk")
+    queue.push("bulk-old", "bulk", 0.0)
+    queue.push("bulk-young", "bulk", 1.0)
+    queue.push("int-0", "interactive", 2.0)
+    evicted = queue.push("int-1", "interactive", 3.0)
+    assert evicted == "bulk-young"
+    items = [item for item, _ in queue.pop_batch(3)]
+    assert items == ["int-0", "int-1", "bulk-old"]
+
+
+def test_shed_bulk_rejects_bulk_newcomer_when_full():
+    queue = BoundedQueue(capacity=2, shed_policy="shed-bulk")
+    queue.push("a", "interactive", 0.0)
+    queue.push("b", "interactive", 1.0)
+    with pytest.raises(OverflowError):
+        queue.push("c", "bulk", 2.0)
+
+
+def test_shed_bulk_rejects_interactive_when_no_bulk_queued():
+    queue = BoundedQueue(capacity=2, shed_policy="shed-bulk")
+    queue.push("a", "interactive", 0.0)
+    queue.push("b", "interactive", 1.0)
+    with pytest.raises(OverflowError):
+        queue.push("c", "interactive", 2.0)
+
+
+def test_reject_new_never_evicts():
+    queue = BoundedQueue(capacity=1, shed_policy="reject-new")
+    queue.push("bulk-0", "bulk", 0.0)
+    with pytest.raises(OverflowError):
+        queue.push("int-0", "interactive", 1.0)
+    assert [item for item, _ in queue.pop_batch(1)] == ["bulk-0"]
+
+
+def test_drain_returns_priority_order_and_empties():
+    queue = BoundedQueue(capacity=4)
+    queue.push("bulk-0", "bulk", 0.0)
+    queue.push("int-0", "interactive", 1.0)
+    assert queue.drain() == ["int-0", "bulk-0"]
+    assert len(queue) == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError, match="capacity"):
+        BoundedQueue(capacity=0)

@@ -44,6 +44,23 @@ def test_quantize_dequantize_roundtrip(rng):
     assert np.abs(restored.pixels - video.pixels).max() <= 0.5 / 255.0
 
 
+def test_dequantize_preserves_metadata(rng):
+    """Regression: the round trip used to silently drop ``metadata``."""
+    video = make_video(rng, 2)
+    video.metadata["origin"] = "upload-api"
+    restored = dequantize_uint8(quantize_uint8(video), video.label,
+                                video.video_id, video.metadata)
+    assert restored.metadata == {"origin": "upload-api"}
+    # A copy, not a shared reference (matches uniform_temporal_sample).
+    restored.metadata["origin"] = "mutated"
+    assert video.metadata["origin"] == "upload-api"
+
+
+def test_dequantize_defaults_to_empty_metadata(rng):
+    restored = dequantize_uint8(quantize_uint8(make_video(rng, 1)))
+    assert restored.metadata == {}
+
+
 def test_quantize_clamps(rng):
     video = Video(np.full((1, 2, 2, 3), 1.0))
     assert quantize_uint8(video).max() == 255
