@@ -8,7 +8,9 @@
 #   5. the qa correctness harness: differential oracles, invariant
 #      checks, and the golden-trace regression gate,
 #   6. the serving front-end suite + its smoke bench (gates the 1.5x
-#      batched-throughput floor and timeline determinism).
+#      batched-throughput floor and timeline determinism),
+#   7. the compressed index tier suite + the ANN smoke bench (gates
+#      recall@10 >= 0.9 and the memmap residency ceiling).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,5 +42,11 @@ python -m pytest -x -q tests/serving
 
 echo "== serving smoke bench =="
 python benchmarks/bench_serving.py --smoke
+
+echo "== compressed index tier tests =="
+python -m pytest -x -q tests/hashindex
+
+echo "== ann smoke bench =="
+python benchmarks/bench_ann.py --smoke
 
 echo "verify.sh: OK"

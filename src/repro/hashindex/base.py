@@ -1,0 +1,237 @@
+"""Shared machinery of the compressed index tier.
+
+Both compressed indexes (:class:`~repro.hashindex.binary.BinaryHashIndex`
+and :class:`~repro.hashindex.ivfpq.IVFPQIndex`) follow the same
+two-stage contract:
+
+1. a **compressed scan** ranks the whole gallery cheaply and returns an
+   over-fetched candidate set (``rerank`` rows per query, ≥ ``k``);
+2. an **exact rerank** rescores exactly those candidates against the
+   float features with the configured similarity, so the returned
+   entries carry exact scores and the final ordering is differentially
+   testable against :class:`~repro.retrieval.index.FeatureIndex`
+   (``hashindex.compressed_vs_exact`` oracle, recall@k floor).
+
+This base class owns row buffering (zip semantics, identical to
+``FeatureIndex.add_batch``), lazy builds, the exact-feature payload
+(optionally spilled to a :class:`~repro.hashindex.store.MemmapStore`),
+the rerank stage, and the obs counters every compressed search reports:
+``hashindex.candidates_scanned``, ``hashindex.rerank_depth``, and the
+store's ``hashindex.bytes_mapped``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.obs import counter, histogram
+from repro.retrieval.lists import RetrievalEntry
+from repro.retrieval.similarity import SimilarityFn, negative_l2
+from repro.hashindex.store import MemmapStore
+
+#: Rerank depths observed per query, bucketed for the obs histogram.
+RERANK_DEPTH_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096)
+
+
+class CompressedIndex:
+    """Base class: buffered rows + compressed scan + exact rerank.
+
+    Parameters
+    ----------
+    similarity:
+        Exact similarity used by the rerank stage (scores returned to
+        callers are exact, never compressed approximations).
+    rerank:
+        Candidate depth the compressed scan over-fetches per query; the
+        effective depth is ``min(len(index), max(k, rerank))``.
+    store:
+        Optional :class:`MemmapStore`; when set (or ``memmap=True``
+        builds an owned temp store), codes and the exact float payload
+        are memory-mapped instead of resident.
+    """
+
+    #: Metric label identifying the concrete tier in obs counters.
+    tier = "compressed"
+
+    def __init__(self, similarity: SimilarityFn = negative_l2,
+                 rerank: int = 64, *,
+                 store: MemmapStore | None = None,
+                 memmap: bool = False) -> None:
+        if rerank < 1:
+            raise ValueError("rerank depth must be positive")
+        self.similarity = similarity
+        self.rerank = int(rerank)
+        self.store = store if store is not None else (
+            MemmapStore() if memmap else None)
+        self._features: list[np.ndarray] = []
+        self._ids: list[str] = []
+        self._labels: list[int] = []
+        self._exact: np.ndarray | None = None
+        self._dirty = True
+
+    # ------------------------------------------------------------------ #
+    # Ingest (zip semantics, mirroring FeatureIndex)
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def add(self, video_id: str, label: int, feature: np.ndarray) -> None:
+        """Buffer one row; the compressed payload rebuilds lazily."""
+        feature = np.asarray(feature, dtype=np.float64).reshape(-1)
+        if self._features and feature.shape != self._features[0].shape:
+            raise ValueError(
+                f"feature dim mismatch: {feature.shape} vs "
+                f"{self._features[0].shape}")
+        self._features.append(feature)
+        self._ids.append(str(video_id))
+        self._labels.append(int(label))
+        self._dirty = True
+
+    def add_batch(self, ids: Sequence[str], labels: Sequence[int],
+                  features: np.ndarray) -> None:
+        """Buffer many rows (row count is the min of the three lengths)."""
+        count = min(len(ids), len(labels), len(features))
+        if count == 0:
+            return
+        features = np.asarray(features[:count], dtype=np.float64)
+        features = features.reshape(count, -1)
+        if self._features and features.shape[1:] != self._features[0].shape:
+            raise ValueError(
+                f"feature dim mismatch: {features.shape[1:]} vs "
+                f"{self._features[0].shape}")
+        self._features.extend(features)
+        self._ids.extend(str(video_id) for video_id in ids[:count])
+        self._labels.extend(int(label) for label in labels[:count])
+        self._dirty = True
+
+    def labels_of(self) -> list[int]:
+        """All stored labels."""
+        return list(self._labels)
+
+    # ------------------------------------------------------------------ #
+    # Build
+    # ------------------------------------------------------------------ #
+    def build(self) -> None:
+        """(Re)build the compressed payload from the buffered rows."""
+        if not self._dirty:
+            return
+        if not self._features:
+            self._exact = None
+            self._dirty = False
+            return
+        matrix = np.stack(self._features)
+        if self.store is not None:
+            self._exact = self.store.put("exact_features", matrix)
+        else:
+            self._exact = matrix
+        self._build_compressed(matrix)
+        self._dirty = False
+
+    def _ensure_built(self) -> None:
+        if self._dirty:
+            self.build()
+
+    def _build_compressed(self, matrix: np.ndarray) -> None:
+        """Train/encode the compressed representation of ``matrix``."""
+        raise NotImplementedError
+
+    def _candidates(self, queries: np.ndarray, depth: int) -> list[np.ndarray]:
+        """Per-query candidate row indexes from the compressed scan.
+
+        Must return at most ``depth`` rows per query, already ranked by
+        the compressed metric (ties broken deterministically).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Search = compressed scan + exact rerank
+    # ------------------------------------------------------------------ #
+    def effective_rerank(self, k: int) -> int:
+        """Candidate depth used for a top-``k`` query."""
+        return min(len(self), max(int(k), self.rerank))
+
+    def search(self, query: np.ndarray, k: int) -> list[RetrievalEntry]:
+        """Exact-reranked top-``k``; an empty index returns ``[]``.
+
+        Delegates to :meth:`search_batch` so the scalar and batched
+        paths are the same code — batch parity holds by construction.
+        """
+        query = np.asarray(query, dtype=np.float64).reshape(1, -1)
+        return self.search_batch(query, k)[0]
+
+    def search_batch(self, queries: np.ndarray, k: int
+                     ) -> list[list[RetrievalEntry]]:
+        """Top-``k`` for each row of a ``(B, d)`` query matrix."""
+        queries = np.asarray(queries, dtype=np.float64)
+        queries = queries.reshape(queries.shape[0], -1) if queries.ndim > 1 \
+            else queries.reshape(1, -1)
+        if not self._ids:
+            return [[] for _ in range(queries.shape[0])]
+        self._ensure_built()
+        depth = self.effective_rerank(k)
+        candidate_rows = self._candidates(queries, depth)
+        scanned = int(sum(rows.size for rows in candidate_rows))
+        counter("hashindex.candidates_scanned", tier=self.tier).inc(scanned)
+        depth_histogram = histogram("hashindex.rerank_depth",
+                                    buckets=RERANK_DEPTH_BUCKETS,
+                                    tier=self.tier)
+        results = []
+        for query, rows in zip(queries, candidate_rows):
+            depth_histogram.observe(rows.size)
+            results.append(self._rerank_one(query, rows, int(k)))
+        counter("hashindex.searches", tier=self.tier).inc(queries.shape[0])
+        return results
+
+    def _rerank_one(self, query: np.ndarray, rows: np.ndarray,
+                    k: int) -> list[RetrievalEntry]:
+        """Rescore candidate ``rows`` exactly and return the top ``k``."""
+        if rows.size == 0:
+            return []
+        gathered = np.asarray(self._exact[rows], dtype=np.float64)
+        scores = self.similarity(query, gathered)
+        k = min(k, rows.size)
+        head = np.argpartition(-scores, k - 1)[:k]
+        order = head[np.argsort(-scores[head], kind="stable")]
+        return [
+            RetrievalEntry(self._ids[rows[i]], self._labels[rows[i]],
+                           float(scores[i]))
+            for i in order
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Memory accounting (BENCH_ann)
+    # ------------------------------------------------------------------ #
+    def _resident_payload_bytes(self) -> int:
+        """Bytes of compressed payload held in RAM (subclass-specific)."""
+        raise NotImplementedError
+
+    def memory_stats(self) -> dict:
+        """Resident vs mapped bytes, plus the float-footprint baseline."""
+        self._ensure_built()
+        float_bytes = 0 if self._exact is None else int(self._exact.nbytes)
+        exact_resident = 0 if (self._exact is None or self.store is not None) \
+            else float_bytes
+        return {
+            "rows": len(self),
+            "float_feature_bytes": float_bytes,
+            "resident_bytes": self._resident_payload_bytes() + exact_resident,
+            "mapped_bytes": 0 if self.store is None else self.store.mapped_bytes,
+        }
+
+    def recall_at_k(self, exact_index, queries: np.ndarray, k: int) -> float:
+        """Mean fraction of the exact top-k this index also returns."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if not len(queries):
+            return 0.0
+        total = 0.0
+        mine = self.search_batch(queries, k)
+        for query, approx in zip(queries, mine):
+            exact = {entry.video_id for entry in exact_index.search(query, k)}
+            total += len(exact & {entry.video_id for entry in approx}) \
+                / max(len(exact), 1)
+        return total / len(queries)
+
+
+__all__ = ["CompressedIndex", "RERANK_DEPTH_BUCKETS"]

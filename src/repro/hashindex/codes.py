@@ -1,0 +1,275 @@
+"""Binary code learning and the packed-word Hamming kernel.
+
+Production deep-hash retrieval (HashNet, SAAT's Hamming-code regime)
+stores every gallery item as an ``nbits``-bit sign code and ranks by
+Hamming distance; this module provides the CPU building blocks for that
+tier:
+
+* :func:`pack_bits` / :func:`unpack_bits` — bit-matrix ↔ ``uint64``
+  words, 64 bits per word, so a 128-bit code costs 16 bytes per row;
+* :func:`hamming_distances` — chunked XOR + popcount over packed words,
+  vectorized via :func:`numpy.bitwise_count` with a byte-lookup-table
+  fallback for older numpy;
+* :class:`RandomProjectionCoder` — sign-of-random-projection LSH, the
+  classic data-oblivious baseline;
+* :class:`ITQCoder` — an ITQ-lite learner: PCA to ``nbits`` directions
+  followed by the iterative-quantization rotation (Gong et al.), which
+  balances bit variance and markedly improves recall at equal bits.
+
+Both coders are deterministic given an rng and are ``fit`` once on the
+gallery matrix; queries are encoded with the frozen projection so query
+and gallery codes live in the same Hamming space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.seeding import seeded_rng
+
+#: Bits per packed word (``uint64``).
+WORD_BITS = 64
+
+#: Popcount of every byte value — the fallback kernel when numpy has no
+#: native ``bitwise_count`` (added in numpy 2.0).
+_BYTE_POPCOUNT = np.array([bin(value).count("1") for value in range(256)],
+                          dtype=np.uint16)
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def words_for_bits(nbits: int) -> int:
+    """Packed ``uint64`` words needed for an ``nbits``-bit code."""
+    return -(-int(nbits) // WORD_BITS)
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a boolean ``(n, nbits)`` matrix into ``(n, words)`` uint64.
+
+    Bit ``j`` of row ``i`` lands in word ``j // 64`` at position
+    ``j % 64`` (little-endian within the word); trailing pad bits are
+    zero on both sides of a comparison and therefore never contribute to
+    a Hamming distance.
+    """
+    bits = np.asarray(bits, dtype=bool)
+    if bits.ndim != 2:
+        raise ValueError(f"expected a (n, nbits) bit matrix, got {bits.shape}")
+    count, nbits = bits.shape
+    words = words_for_bits(nbits) if nbits else 0
+    padded = np.zeros((count, words * WORD_BITS), dtype=bool)
+    padded[:, :nbits] = bits
+    # packbits is big-endian per byte; view as uint64 after a per-byte
+    # little-endian pack so bit j sits at 1 << (j % 64).
+    packed_bytes = np.packbits(padded.reshape(count, -1, 8)[:, :, ::-1],
+                               axis=2).reshape(count, -1)
+    return packed_bytes.view("<u8").reshape(count, words)
+
+
+def unpack_bits(words: np.ndarray, nbits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: ``(n, words)`` uint64 → bool bits."""
+    words = np.ascontiguousarray(words, dtype="<u8")
+    count = words.shape[0]
+    as_bytes = words.reshape(count, -1).view(np.uint8)
+    bits = np.unpackbits(as_bytes.reshape(count, -1, 1), axis=2,
+                         bitorder="little").reshape(count, -1)
+    return bits[:, :nbits].astype(bool)
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a uint64 array (native or table-driven)."""
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words)
+    as_bytes = words.view(np.uint8).reshape(*words.shape, 8)
+    return _BYTE_POPCOUNT[as_bytes].sum(axis=-1).astype(np.uint64)
+
+
+#: Element budget for one ``(chunk, n)`` per-word XOR temporary: 1 << 21
+#: uint64 elements is 16 MiB, comfortably cache/RAM friendly even with
+#: the popcount output alongside.
+_XOR_CHUNK_ELEMS = 1 << 21
+
+
+def hamming_distances(query_words: np.ndarray,
+                      gallery_words: np.ndarray) -> np.ndarray:
+    """``(B, n)`` Hamming distances between packed code matrices.
+
+    The scan accumulates one code word at a time: each word costs a
+    ``(chunk, n)`` XOR + popcount instead of materializing the full
+    ``(B, n, words)`` cube and reducing over it, which roughly halves
+    the memory traffic of the hot loop.  Queries are chunked so the
+    per-word temporary stays bounded regardless of batch and gallery
+    size.
+    """
+    query_words = np.atleast_2d(np.asarray(query_words, dtype=np.uint64))
+    gallery_words = np.atleast_2d(np.asarray(gallery_words, dtype=np.uint64))
+    batch, words = query_words.shape
+    rows = gallery_words.shape[0]
+    out = np.empty((batch, rows), dtype=np.int64)
+    if rows == 0 or batch == 0:
+        return out
+    chunk = max(1, _XOR_CHUNK_ELEMS // max(1, rows))
+    for start in range(0, batch, chunk):
+        stop = min(start + chunk, batch)
+        # words * 64 ≤ 65535 bits keeps the accumulator in uint16.
+        acc = np.zeros((stop - start, rows), dtype=np.uint16)
+        for word in range(words):
+            acc += popcount(query_words[start:stop, word, None]
+                            ^ gallery_words[None, :, word]).astype(
+                np.uint16, copy=False)
+        out[start:stop] = acc
+    return out
+
+
+def hamming_topk(query_words: np.ndarray, gallery_words: np.ndarray,
+                 k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Row indexes and distances of the ``k`` nearest codes per query.
+
+    Returns ``(indexes, distances)``, both ``(B, k)``, candidates in
+    ascending-distance order (ties broken by row index via a stable
+    sort, so results are deterministic and identical for a batch of one
+    and a scalar call).
+    """
+    distances = hamming_distances(query_words, gallery_words)
+    rows = distances.shape[1]
+    k = min(int(k), rows)
+    head = np.argpartition(distances, k - 1, axis=1)[:, :k]
+    head.sort(axis=1)  # canonical candidate order before the value sort
+    head_distances = np.take_along_axis(distances, head, axis=1)
+    order = np.argsort(head_distances, axis=1, kind="stable")
+    indexes = np.take_along_axis(head, order, axis=1)
+    return indexes, np.take_along_axis(head_distances, order, axis=1)
+
+
+# ---------------------------------------------------------------------- #
+# Coders
+# ---------------------------------------------------------------------- #
+class RandomProjectionCoder:
+    """Sign-of-random-projection LSH codes.
+
+    ``fit`` centers the gallery and draws ``nbits`` Gaussian directions;
+    ``encode`` thresholds the centered projection at zero.  Random
+    hyperplanes preserve angles in expectation (classic SimHash), so
+    Hamming distance tracks cosine/ℓ2 neighbourhoods well enough for a
+    rerank stage to recover the exact ranking.
+    """
+
+    name = "lsh"
+
+    def __init__(self, nbits: int = 128, rng=None) -> None:
+        if nbits < 1:
+            raise ValueError("nbits must be positive")
+        self.nbits = int(nbits)
+        self._rng = seeded_rng(rng)
+        self._projection: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self._projection is not None
+
+    def fit(self, matrix: np.ndarray) -> "RandomProjectionCoder":
+        matrix = np.asarray(matrix, dtype=np.float64)
+        self._mean = matrix.mean(axis=0)
+        self._projection = self._rng.normal(
+            size=(matrix.shape[1], self.nbits))
+        return self
+
+    def encode(self, matrix: np.ndarray) -> np.ndarray:
+        """``(n, d)`` floats → ``(n, words)`` packed codes."""
+        if not self.fitted:
+            raise RuntimeError("coder must be fit before encoding")
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        bits = (matrix - self._mean) @ self._projection >= 0.0
+        return pack_bits(bits)
+
+
+class ITQCoder:
+    """ITQ-lite: PCA projection + iterative quantization rotation.
+
+    Alternates ``B = sign(V R)`` with the orthogonal Procrustes update
+    ``R = S Ŝᵀ`` from the SVD of ``Bᵀ V`` for a few iterations — the
+    core of Gong et al.'s ITQ without the bells (no per-bit scaling).
+    When the gallery has fewer informative directions than ``nbits``,
+    the projection is padded with random Gaussian directions so codes
+    always carry ``nbits`` bits.
+    """
+
+    name = "itq"
+
+    def __init__(self, nbits: int = 128, iterations: int = 12,
+                 rng=None) -> None:
+        if nbits < 1:
+            raise ValueError("nbits must be positive")
+        self.nbits = int(nbits)
+        self.iterations = int(iterations)
+        self._rng = seeded_rng(rng)
+        self._projection: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self._projection is not None
+
+    def fit(self, matrix: np.ndarray) -> "ITQCoder":
+        matrix = np.asarray(matrix, dtype=np.float64)
+        count, dim = matrix.shape
+        self._mean = matrix.mean(axis=0)
+        centered = matrix - self._mean
+        # PCA directions (right singular vectors), padded with random
+        # directions when rank < nbits.
+        _, singular, vt = np.linalg.svd(centered, full_matrices=False)
+        keep = min(self.nbits, vt.shape[0])
+        directions = vt[:keep].T  # (dim, keep)
+        if keep < self.nbits:
+            extra = self._rng.normal(size=(dim, self.nbits - keep))
+            directions = np.concatenate([directions, extra], axis=1)
+        projected = centered @ directions  # (n, nbits)
+        # Iterative quantization: learn the rotation minimizing
+        # ‖sign(VR) − VR‖².
+        rotation = np.linalg.qr(
+            self._rng.normal(size=(self.nbits, self.nbits)))[0]
+        for _ in range(self.iterations):
+            signs = np.where(projected @ rotation >= 0.0, 1.0, -1.0)
+            u, _, vt_r = np.linalg.svd(signs.T @ projected,
+                                       full_matrices=False)
+            rotation = (u @ vt_r).T
+        self._projection = directions @ rotation
+        return self
+
+    def encode(self, matrix: np.ndarray) -> np.ndarray:
+        """``(n, d)`` floats → ``(n, words)`` packed codes."""
+        if not self.fitted:
+            raise RuntimeError("coder must be fit before encoding")
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        bits = (matrix - self._mean) @ self._projection >= 0.0
+        return pack_bits(bits)
+
+
+#: Coder registry keyed by name (the ``coder=`` knob on the index).
+CODERS = {
+    RandomProjectionCoder.name: RandomProjectionCoder,
+    ITQCoder.name: ITQCoder,
+}
+
+
+def create_coder(name: str, nbits: int, rng=None):
+    """Instantiate a registered coder by name."""
+    key = str(name).lower()
+    if key not in CODERS:
+        raise KeyError(f"unknown coder {name!r}; available: {sorted(CODERS)}")
+    return CODERS[key](nbits=nbits, rng=rng)
+
+
+__all__ = [
+    "WORD_BITS",
+    "words_for_bits",
+    "pack_bits",
+    "unpack_bits",
+    "popcount",
+    "hamming_distances",
+    "hamming_topk",
+    "RandomProjectionCoder",
+    "ITQCoder",
+    "CODERS",
+    "create_coder",
+]

@@ -146,3 +146,24 @@ def draw_id_list(rng: np.random.Generator, universe: int, length: int
     length = min(length, universe)
     chosen = rng.choice(universe, size=length, replace=False)
     return [f"v{i}" for i in chosen]
+
+
+def draw_clustered_gallery(rng: np.random.Generator, rows: int, dim: int,
+                           spread: float = 0.25
+                           ) -> tuple[list[str], list[int], np.ndarray]:
+    """A gallery whose features cluster, as real video embeddings do.
+
+    Rows are drawn around ``max(2, rows // 12)`` unit-normal centers
+    with ``spread`` intra-cluster noise; labels are the cluster ids.
+    The compressed-tier recall oracles use this instead of
+    :func:`draw_gallery` because pure isotropic Gaussian rows are the
+    known worst case for every ANN structure (all points are nearly
+    equidistant) and say nothing about behaviour on embedding-shaped
+    data.
+    """
+    clusters = max(2, rows // 12)
+    centers = rng.normal(size=(clusters, dim))
+    assignment = rng.integers(0, clusters, size=rows)
+    features = centers[assignment] + spread * rng.normal(size=(rows, dim))
+    ids = [f"v{i}" for i in range(rows)]
+    return ids, [int(label) for label in assignment], features

@@ -35,7 +35,12 @@ from repro.qa.comparators import (
     assert_close,
     assert_retrieval_lists_equal,
 )
-from repro.qa.generators import Strategy, draw_gallery, shrink_int
+from repro.qa.generators import (
+    Strategy,
+    draw_clustered_gallery,
+    draw_gallery,
+    shrink_int,
+)
 from repro.qa.oracle import OraclePair, register
 from repro.qa.world import build_world
 from repro.resilience.config import ResilienceConfig
@@ -255,6 +260,95 @@ register(OraclePair(
     compare=assert_retrieval_lists_equal,
     cases=6,
     description="ShardedGallery scatter/gather batch vs sequential search",
+))
+
+
+# ---------------------------------------------------------------------- #
+# compressed index tier (+ exact rerank) vs exact FeatureIndex
+# ---------------------------------------------------------------------- #
+#: Mean recall@k the compressed tiers must reach against the exact
+#: index on clustered (embedding-shaped) galleries.
+COMPRESSED_RECALL_FLOOR = 0.95
+
+
+def _compressed_case(seed: int, rows: int, dim: int, batch: int, k: int):
+    """Clustered gallery + near-gallery queries (shared by both sides)."""
+    rng = np.random.default_rng(seed)
+    ids, labels, features = draw_clustered_gallery(rng, rows, dim)
+    anchors = rng.choice(rows, size=min(batch, rows), replace=False)
+    queries = features[anchors] + 0.1 * rng.normal(
+        size=(len(anchors), dim))
+    if len(anchors) < batch:  # more queries than rows: recycle anchors
+        extra = rng.integers(0, rows, size=batch - len(anchors))
+        queries = np.concatenate([
+            queries,
+            features[extra] + 0.1 * rng.normal(size=(len(extra), dim)),
+        ])
+    return ids, labels, features, queries
+
+
+def _exact_id_lists(tier, seed, rows, dim, batch, k):
+    ids, labels, features, queries = _compressed_case(seed, rows, dim,
+                                                      batch, k)
+    index = FeatureIndex()
+    index.add_batch(ids, labels, features)
+    return [[entry.video_id for entry in result]
+            for result in index.search_batch(queries, k)]
+
+
+def _compressed_id_lists(tier, seed, rows, dim, batch, k):
+    from repro.hashindex import BinaryHashIndex, IVFPQIndex
+
+    ids, labels, features, queries = _compressed_case(seed, rows, dim,
+                                                      batch, k)
+    rerank = max(32, 4 * k)
+    if tier == "hamming":
+        index = BinaryHashIndex(nbits=128, coder="itq", rerank=rerank,
+                                rng=seed + 1)
+    else:
+        index = IVFPQIndex(num_cells=8, nprobe=4,
+                           num_subvectors=min(8, dim), rerank=rerank,
+                           rng=seed + 1)
+    index.add_batch(ids, labels, features)
+    return [[entry.video_id for entry in result]
+            for result in index.search_batch(queries, k)]
+
+
+def _recall_floor_compare(reference, fast):
+    """Mean per-query overlap with the exact top-k must clear the floor."""
+    recalls = [
+        len(set(exact) & set(approx)) / max(len(exact), 1)
+        for exact, approx in zip(reference, fast)
+    ]
+    mean_recall = sum(recalls) / max(len(recalls), 1)
+    assert mean_recall >= COMPRESSED_RECALL_FLOOR, (
+        f"compressed recall@k {mean_recall:.3f} below floor "
+        f"{COMPRESSED_RECALL_FLOOR} (per-query: "
+        f"{[round(r, 2) for r in recalls]})")
+
+
+def _compressed_strategy(rng: np.random.Generator) -> dict:
+    return {
+        "tier": str(rng.choice(("hamming", "ivfpq"))),
+        "seed": int(rng.integers(0, 2**31)),
+        "rows": int(rng.integers(48, 200)),
+        "dim": int(rng.integers(8, 28)),
+        "batch": int(rng.integers(1, 8)),
+        "k": int(rng.integers(1, 11)),
+    }
+
+
+register(OraclePair(
+    name="hashindex.compressed_vs_exact",
+    reference=_exact_id_lists,
+    fast=_compressed_id_lists,
+    strategy=Strategy("hashindex", _compressed_strategy,
+                      dict(_INDEX_SHRINKERS)),
+    compare=_recall_floor_compare,
+    cases=6,
+    description="compressed tiers (+ exact rerank) hold recall@k ≥ "
+                f"{COMPRESSED_RECALL_FLOOR} vs the exact FeatureIndex",
+    guards=("REPRO_INDEX_TIER",),
 ))
 
 

@@ -9,6 +9,12 @@ a :class:`~repro.retrieval.nodes.DataNode` or used standalone.
 
 Recall is tunable via ``nprobe`` — the classic ANN speed/recall knob —
 and the tests verify the recall@k monotonicity in it.
+
+The clustering helpers here are shared with the compressed tier
+(:mod:`repro.hashindex`): :func:`assign_clusters` computes nearest
+centroids through the chunked ``‖a‖² − 2a·b + ‖b‖²`` expansion, so
+building coarse cells over 10^6 rows never materializes an
+``(n, k, d)`` broadcast intermediate.
 """
 
 from __future__ import annotations
@@ -16,20 +22,67 @@ from __future__ import annotations
 import numpy as np
 
 from repro.retrieval.lists import RetrievalEntry
-from repro.retrieval.similarity import SimilarityFn, negative_l2
+from repro.retrieval.similarity import SimilarityFn, batched_similarity, negative_l2
 from repro.utils.seeding import seeded_rng
+
+#: Element budget for one ``(chunk, k)`` distance block (float64); the
+#: GEMM in the expansion never allocates more than this per chunk.
+_ASSIGN_CHUNK_ELEMS = 1 << 18
+
+
+def squared_distances(points: np.ndarray, centroids: np.ndarray
+                      ) -> np.ndarray:
+    """``(n, k)`` squared ℓ2 distances via ``‖a‖² − 2a·b + ‖b‖²``.
+
+    One GEMM plus two norm vectors — O(n·k·d) flops but only O(n·k)
+    memory, unlike the ``(n, k, d)`` broadcast cube the naive form
+    allocates.  Clamped at zero: the expansion can dip slightly negative
+    for near-identical pairs.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    centroids = np.asarray(centroids, dtype=np.float64)
+    point_norms = (points * points).sum(axis=1)[:, None]
+    centroid_norms = (centroids * centroids).sum(axis=1)[None, :]
+    distances = point_norms - 2.0 * (points @ centroids.T) + centroid_norms
+    np.maximum(distances, 0.0, out=distances)
+    return distances
+
+
+def assign_clusters(points: np.ndarray, centroids: np.ndarray,
+                    chunk_elems: int = _ASSIGN_CHUNK_ELEMS) -> np.ndarray:
+    """Nearest-centroid index per point, chunked over rows.
+
+    Processes ``points`` in blocks so the live ``(chunk, k)`` distance
+    matrix stays under ``chunk_elems`` float64 elements no matter how
+    large the gallery is.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    count = points.shape[0]
+    num_centroids = centroids.shape[0]
+    assignment = np.empty(count, dtype=np.int64)
+    chunk = max(1, int(chunk_elems) // max(1, num_centroids))
+    for start in range(0, count, chunk):
+        stop = min(start + chunk, count)
+        block = squared_distances(points[start:stop], centroids)
+        assignment[start:stop] = block.argmin(axis=1)
+    return assignment
 
 
 def _kmeans(points: np.ndarray, num_clusters: int, iterations: int = 15,
             rng=None) -> np.ndarray:
-    """Plain Lloyd's k-means; returns the ``(num_clusters, d)`` centroids."""
+    """Plain Lloyd's k-means; returns the ``(num_clusters, d)`` centroids.
+
+    The assignment step runs through :func:`assign_clusters` (chunked
+    expansion) instead of the ``(n, k, d)`` broadcast the seed used, so
+    clustering a million rows stays memory-bounded; centroid updates are
+    the same per-cluster means, so results match the seeded galleries.
+    """
     rng = seeded_rng(rng)
     count = points.shape[0]
     chosen = rng.choice(count, size=min(num_clusters, count), replace=False)
     centroids = points[chosen].copy()
     for _ in range(iterations):
-        distances = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
-        assignment = distances.argmin(axis=1)
+        assignment = assign_clusters(points, centroids)
         for cluster in range(centroids.shape[0]):
             members = points[assignment == cluster]
             if len(members):
@@ -51,6 +104,7 @@ class IVFIndex:
         self._features: list[np.ndarray] = []
         self._ids: list[str] = []
         self._labels: list[int] = []
+        self._matrix: np.ndarray | None = None
         self._centroids: np.ndarray | None = None
         self._cells: list[np.ndarray] = []
 
@@ -63,6 +117,7 @@ class IVFIndex:
         self._ids.append(str(video_id))
         self._labels.append(int(label))
         self._centroids = None  # mark dirty
+        self._matrix = None  # invalidate the stacked-matrix cache
 
     def add_batch(self, ids: list[str], labels: list[int],
                   features: np.ndarray) -> None:
@@ -74,35 +129,38 @@ class IVFIndex:
         for video_id, label, feature in zip(ids, labels, features):
             self.add(video_id, label, feature)
 
+    def _feature_matrix(self) -> np.ndarray:
+        """The stacked ``(n, d)`` gallery matrix, cached until the next add.
+
+        The seed implementation re-ran ``np.stack(self._features)`` on
+        every :meth:`search` call — an O(n·d) copy per query.  Like
+        ``FeatureIndex._feature_matrix``, the stack now happens once per
+        build and is invalidated by :meth:`add`.
+        """
+        if self._matrix is None:
+            self._matrix = np.stack(self._features)
+        return self._matrix
+
     def build(self) -> None:
         """Cluster buffered rows into cells (idempotent until new adds)."""
         if not self._features:
             return
-        matrix = np.stack(self._features)
+        matrix = self._feature_matrix()
         cells = min(self.num_cells, len(matrix))
         self._centroids = _kmeans(matrix, cells, rng=self._rng)
-        distances = ((matrix[:, None, :] - self._centroids[None, :, :]) ** 2
-                     ).sum(axis=2)
-        assignment = distances.argmin(axis=1)
+        assignment = assign_clusters(matrix, self._centroids)
         self._cells = [np.flatnonzero(assignment == c)
                        for c in range(self._centroids.shape[0])]
 
-    def search(self, query: np.ndarray, k: int) -> list[RetrievalEntry]:
-        """Probe the ``nprobe`` nearest cells and scan only their members."""
-        if not self._ids:
-            return []
-        if self._centroids is None:
-            self.build()
-        query = np.asarray(query, dtype=np.float64).reshape(-1)
-        matrix = np.stack(self._features)
-        cell_distances = ((self._centroids - query[None, :]) ** 2).sum(axis=1)
-        probe_order = np.argsort(cell_distances)[: self.nprobe]
-        candidates = np.concatenate(
-            [self._cells[c] for c in probe_order]
-        ) if len(probe_order) else np.arange(len(matrix))
-        if candidates.size == 0:
-            return []
-        scores = self.similarity(query, matrix[candidates])
+    def _probe_candidates(self, probe_order: np.ndarray) -> np.ndarray:
+        """Member rows of the probed cells, in probe order."""
+        if not len(probe_order):
+            return np.arange(len(self._ids))
+        return np.concatenate([self._cells[c] for c in probe_order])
+
+    def _top_k_entries(self, candidates: np.ndarray, scores: np.ndarray,
+                       k: int) -> list[RetrievalEntry]:
+        """Exact-sorted head of one candidate score row."""
         k = min(int(k), candidates.size)
         head = np.argpartition(-scores, k - 1)[:k]
         order = head[np.argsort(-scores[head], kind="stable")]
@@ -112,19 +170,62 @@ class IVFIndex:
             for i in order
         ]
 
+    def search(self, query: np.ndarray, k: int) -> list[RetrievalEntry]:
+        """Probe the ``nprobe`` nearest cells and scan only their members."""
+        if not self._ids:
+            return []
+        if self._centroids is None:
+            self.build()
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        matrix = self._feature_matrix()
+        cell_distances = ((self._centroids - query[None, :]) ** 2).sum(axis=1)
+        probe_order = np.argsort(cell_distances)[: self.nprobe]
+        candidates = self._probe_candidates(probe_order)
+        if candidates.size == 0:
+            return []
+        scores = self.similarity(query, matrix[candidates])
+        return self._top_k_entries(candidates, scores, k)
+
     def search_batch(self, queries: np.ndarray, k: int
                      ) -> list[list[RetrievalEntry]]:
         """Top-k for each row of a ``(B, d)`` query matrix.
 
-        Cell probing is inherently per-query (each query probes its own
-        ``nprobe`` cells), so this is a loop over :meth:`search` — the
-        point is :class:`~repro.retrieval.protocol.Index` conformance,
-        not a vectorized fast path.
+        Centroid distances for the whole batch are computed in one
+        broadcast (elementwise-identical to the scalar expression), and
+        queries probing the *same* cell sequence share one gather and
+        one batched similarity call — the common case when a batch of
+        attack candidates clusters around the original video.  Per-row
+        results are bit-identical to sequential :meth:`search` calls
+        (the ``ivf_index.search_vs_batch`` oracle gates this).
         """
         queries = np.asarray(queries, dtype=np.float64)
         queries = queries.reshape(queries.shape[0], -1) if queries.ndim > 1 \
             else queries.reshape(1, -1)
-        return [self.search(query, k) for query in queries]
+        if not self._ids:
+            return [[] for _ in range(queries.shape[0])]
+        if self._centroids is None:
+            self.build()
+        matrix = self._feature_matrix()
+        # Same elementwise subtract/square/sum pipeline as the scalar
+        # path, broadcast over the batch axis — bit-identical distances.
+        cell_distances = ((self._centroids[None, :, :]
+                           - queries[:, None, :]) ** 2).sum(axis=2)
+        probe_orders = np.argsort(cell_distances, axis=1)[:, : self.nprobe]
+        # Group queries sharing a probe sequence: one candidate gather
+        # and one batched similarity per group instead of per query.
+        groups: dict[tuple[int, ...], list[int]] = {}
+        for row, probes in enumerate(probe_orders):
+            groups.setdefault(tuple(int(p) for p in probes), []).append(row)
+        batch_similarity = batched_similarity(self.similarity)
+        results: list[list[RetrievalEntry]] = [[] for _ in range(len(queries))]
+        for probes, rows in groups.items():
+            candidates = self._probe_candidates(np.asarray(probes, dtype=int))
+            if candidates.size == 0:
+                continue
+            score_matrix = batch_similarity(queries[rows], matrix[candidates])
+            for row, scores in zip(rows, score_matrix):
+                results[row] = self._top_k_entries(candidates, scores, k)
+        return results
 
     def labels_of(self) -> list[int]:
         """All stored labels."""

@@ -35,18 +35,30 @@ class ServiceConfig:
     quantize_queries:
         Round query pixels to 8-bit before embedding, modelling a real
         upload API (the paper's τ is specified in 8-bit units).
+    index_tier:
+        Gallery index implementation (``"exact"`` | ``"ivf"`` |
+        ``"hamming"`` | ``"ivfpq"``, see :mod:`repro.hashindex.tiers`).
+        ``None`` keeps the engine's current tier (which itself defaults
+        from ``REPRO_INDEX_TIER``).
     """
 
     m: int = 10
     query_budget: int | None = None
     preprocessor: Preprocessor | None = None
     quantize_queries: bool = False
+    index_tier: str | None = None
 
     def __post_init__(self) -> None:
         if self.m < 1:
             raise ValueError("m (returned list length) must be positive")
         if self.query_budget is not None and self.query_budget < 0:
             raise ValueError("query_budget must be non-negative")
+        if self.index_tier is not None:
+            # Lazy import: repro.hashindex depends on retrieval
+            # submodules, so a top-level import would cycle.
+            from repro.hashindex.tiers import resolve_index_tier
+
+            resolve_index_tier(self.index_tier)  # raises on unknown tier
 
     def with_(self, **changes) -> "ServiceConfig":
         """A copy with ``changes`` applied (dataclasses.replace sugar)."""

@@ -32,13 +32,15 @@ class RetrievalEngine:
     def __init__(self, extractor: FeatureExtractor,
                  similarity: SimilarityFn | str = negative_l2,
                  num_nodes: int = 4, cache_size: int | None = None,
-                 resilience: ResilienceConfig | None = None) -> None:
+                 resilience: ResilienceConfig | None = None,
+                 index_tier: str | None = None) -> None:
         if isinstance(similarity, str):
             similarity = create_similarity(similarity)
         self.extractor = extractor
         self.gallery = ShardedGallery(num_nodes=num_nodes,
                                       similarity=similarity,
-                                      resilience=resilience)
+                                      resilience=resilience,
+                                      index_tier=index_tier)
         self.embedding_cache = EmbeddingCache(cache_size)
 
     def configure_resilience(self, resilience: ResilienceConfig | None) -> None:
@@ -49,6 +51,15 @@ class RetrievalEngine:
         can change at any time.
         """
         self.gallery.set_resilience(resilience)
+
+    def configure_index_tier(self, tier: str | None) -> None:
+        """Switch the gallery's per-node index tier (see
+        :mod:`repro.hashindex.tiers`); stored rows are re-ingested."""
+        self.gallery.set_index_tier(tier)
+
+    @property
+    def index_tier(self) -> str:
+        return self.gallery.index_tier
 
     @property
     def resilience(self) -> ResilienceConfig | None:

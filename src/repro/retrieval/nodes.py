@@ -46,7 +46,12 @@ NODE_LATENCY_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0)
 
 
 class DataNode:
-    """One storage shard holding a :class:`FeatureIndex`.
+    """One storage shard holding a local :class:`~repro.retrieval.protocol.Index`.
+
+    The index implementation is pluggable: by default a brute-force
+    :class:`FeatureIndex`, or any factory from the compressed tier
+    registry (:mod:`repro.hashindex.tiers`) — the node only relies on
+    the shared :class:`~repro.retrieval.protocol.Index` protocol.
 
     An installed ``fault_injector`` (usually a
     :class:`~repro.resilience.FaultPlan`) is consulted on every search
@@ -54,13 +59,31 @@ class DataNode:
     (exposed as ``last_injected_latency_s``), or corrupt scores.
     """
 
-    def __init__(self, node_id: str, similarity: SimilarityFn = negative_l2) -> None:
+    def __init__(self, node_id: str, similarity: SimilarityFn = negative_l2,
+                 index_factory=None) -> None:
         self.node_id = str(node_id)
-        self.index = FeatureIndex(similarity)
+        self.similarity = similarity
+        self.index = FeatureIndex(similarity) if index_factory is None \
+            else index_factory(similarity)
         self.alive = True
         self.search_count = 0
         self.fault_injector = None
         self.last_injected_latency_s = 0.0
+
+    def reindex(self, index_factory) -> None:
+        """Rebuild the local index under a new factory, keeping all rows.
+
+        Every in-repo index buffers its rows (``_ids``/``_labels``/
+        ``_features``), so a tier switch re-ingests them into the new
+        index in one ``add_batch`` — compressed payloads then rebuild
+        lazily on the next search.
+        """
+        old = self.index
+        new = index_factory(self.similarity)
+        if len(old):
+            new.add_batch(list(old._ids), list(old._labels),
+                          np.stack(old._features))
+        self.index = new
 
     def __len__(self) -> int:
         return len(self.index)
@@ -134,11 +157,14 @@ class ShardedGallery:
 
     def __init__(self, num_nodes: int = 4,
                  similarity: SimilarityFn = negative_l2,
-                 resilience: ResilienceConfig | None = None) -> None:
+                 resilience: ResilienceConfig | None = None,
+                 index_tier: str | None = None) -> None:
         if num_nodes < 1:
             raise ValueError("gallery needs at least one node")
         self.similarity = similarity
         self.nodes = [DataNode(f"node-{i}", similarity) for i in range(num_nodes)]
+        self.index_tier = "exact"
+        self.set_index_tier(index_tier)
         self._next_shard = 0
         self._row_count = 0
         self._labels: list[int] = []
@@ -153,6 +179,33 @@ class ShardedGallery:
         relabel = {0: "coordinator"}
         relabel.update({i + 1: node.node_id for i, node in enumerate(self.nodes)})
         self.topology = nx.relabel_nodes(self.topology, relabel)
+
+    # -------------------------------------------------------------- #
+    # Index-tier configuration
+    # -------------------------------------------------------------- #
+    def set_index_tier(self, tier: str | None) -> None:
+        """Switch every node's local index to ``tier``.
+
+        ``None`` resolves the ``REPRO_INDEX_TIER`` environment default
+        (``"exact"`` when unset — seed behaviour).  Rows already stored
+        on the nodes are re-ingested into the new indexes; compressed
+        payloads rebuild lazily on the next search.  Switching to the
+        tier already in place is a no-op.
+        """
+        # Imported lazily: repro.hashindex depends on retrieval
+        # submodules, so a module-level import would be circular during
+        # package initialization.
+        from repro.hashindex.tiers import default_index_tier, resolve_index_tier
+
+        resolved = default_index_tier() if tier is None \
+            else str(tier).strip().lower()
+        if resolved == self.index_tier:
+            return
+        factory = resolve_index_tier(resolved)
+        for node in self.nodes:
+            node.reindex(factory)
+        self.index_tier = resolved
+        counter("gallery.index_tier_switches", tier=resolved).inc()
 
     # -------------------------------------------------------------- #
     # Resilience configuration

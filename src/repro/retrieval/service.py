@@ -110,7 +110,10 @@ class RetrievalService:
         ``overrides`` are :class:`ServiceConfig` field names applied on
         top of ``config`` (``build(engine, m=8)`` is the idiomatic short
         form).  A ``resilience`` config is installed on the engine's
-        gallery — replication must be set before indexing.
+        gallery — replication must be set before indexing.  An
+        ``index_tier`` switches the gallery to a compressed index
+        (rows already stored are re-ingested, so the knob works before
+        or after indexing).
         """
         config = config if config is not None else ServiceConfig()
         if overrides:
@@ -122,6 +125,8 @@ class RetrievalService:
             config = config.with_(**overrides)
         if resilience is not None:
             engine.configure_resilience(resilience)
+        if config.index_tier is not None:
+            engine.configure_index_tier(config.index_tier)
         return cls(engine, config=config)
 
     # Legacy attribute surface (kept so existing call sites and tests

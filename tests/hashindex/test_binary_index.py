@@ -1,0 +1,108 @@
+"""BinaryHashIndex: recall, rerank exactness, memmap parity, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.hashindex import BinaryHashIndex, MemmapStore
+from repro.obs import get_registry
+from repro.qa.generators import draw_clustered_gallery
+from repro.retrieval import FeatureIndex
+
+
+def _gallery(seed=0, rows=120, dim=16):
+    rng = np.random.default_rng(seed)
+    ids, labels, features = draw_clustered_gallery(rng, rows, dim)
+    return ids, labels, features, rng
+
+
+def _filled(index, seed=0, rows=120, dim=16):
+    ids, labels, features, rng = _gallery(seed, rows, dim)
+    index.add_batch(ids, labels, features)
+    exact = FeatureIndex()
+    exact.add_batch(ids, labels, features)
+    anchors = rng.choice(rows, size=12, replace=False)
+    queries = features[anchors] + 0.05 * rng.normal(size=(12, dim))
+    return index, exact, queries
+
+
+class TestRecallAndRerank:
+    @pytest.mark.parametrize("coder", ["lsh", "itq"])
+    def test_recall_floor_on_clustered_gallery(self, coder):
+        index, exact, queries = _filled(
+            BinaryHashIndex(nbits=128, coder=coder, rerank=48, rng=1))
+        assert index.recall_at_k(exact, queries, k=10) >= 0.9
+
+    def test_scores_are_exact_not_hamming(self):
+        """Returned scores come from the exact similarity, so whenever
+        the approximate index surfaces the true winner its score equals
+        the exact index's bit for bit."""
+        index, exact, queries = _filled(
+            BinaryHashIndex(nbits=128, coder="itq", rerank=64, rng=1))
+        for query in queries:
+            approx = {e.video_id: e.score for e in index.search(query, k=5)}
+            for entry in exact.search(query, k=5):
+                if entry.video_id in approx:
+                    assert approx[entry.video_id] == entry.score
+
+    def test_rerank_depth_clamps_to_gallery(self):
+        index = BinaryHashIndex(nbits=64, rerank=500, rng=0)
+        ids, labels, features, _ = _gallery(rows=20)
+        index.add_batch(ids, labels, features)
+        assert index.effective_rerank(5) == 20
+
+    def test_add_after_build_rebuilds(self):
+        index = BinaryHashIndex(nbits=64, rerank=8, rng=0)
+        ids, labels, features, _ = _gallery(rows=30)
+        index.add_batch(ids, labels, features)
+        index.search(features[0], k=3)
+        index.add("fresh", 99, features[0] + 0.001)
+        result = index.search(features[0], k=3)
+        assert "fresh" in {entry.video_id for entry in result}
+
+
+class TestMemmap:
+    def test_memmap_results_match_ram(self):
+        ids, labels, features, rng = _gallery(rows=80)
+        queries = rng.normal(size=(6, 16)) + features[:6]
+        ram = BinaryHashIndex(nbits=128, rerank=32, rng=4)
+        mapped = BinaryHashIndex(nbits=128, rerank=32, rng=4, memmap=True)
+        ram.add_batch(ids, labels, features)
+        mapped.add_batch(ids, labels, features)
+        assert mapped.search_batch(queries, k=7) == ram.search_batch(queries, k=7)
+        mapped.store.close()
+
+    def test_memory_stats_memmap_shrinks_residency(self, tmp_path):
+        index = BinaryHashIndex(nbits=128, rerank=16, rng=0,
+                                store=MemmapStore(tmp_path))
+        # Enough rows that the fixed projection cost (dim × nbits
+        # floats) amortizes — the regime the compressed tier targets.
+        ids, labels, features, _ = _gallery(rows=2000, dim=32)
+        index.add_batch(ids, labels, features)
+        stats = index.memory_stats()
+        assert stats["rows"] == 2000
+        assert stats["float_feature_bytes"] == 2000 * 32 * 8
+        # Floats + packed codes live on disk; only the coder stays in RAM.
+        assert stats["mapped_bytes"] >= stats["float_feature_bytes"]
+        assert stats["resident_bytes"] < 0.25 * stats["float_feature_bytes"]
+
+    def test_memory_stats_ram_counts_everything(self):
+        index = BinaryHashIndex(nbits=128, rerank=16, rng=0)
+        ids, labels, features, _ = _gallery(rows=50)
+        index.add_batch(ids, labels, features)
+        stats = index.memory_stats()
+        assert stats["mapped_bytes"] == 0
+        assert stats["resident_bytes"] >= stats["float_feature_bytes"]
+
+
+class TestObs:
+    def test_search_increments_tier_counters(self):
+        index, _, queries = _filled(
+            BinaryHashIndex(nbits=64, rerank=16, rng=2))
+        registry = get_registry()
+        searches = registry.counter("hashindex.searches", tier="hamming")
+        scanned = registry.counter("hashindex.candidates_scanned",
+                                   tier="hamming")
+        searches_before, scanned_before = searches.value, scanned.value
+        index.search_batch(queries, k=5)
+        assert searches.value == searches_before + len(queries)
+        assert scanned.value == scanned_before + len(queries) * 16

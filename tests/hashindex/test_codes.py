@@ -1,0 +1,137 @@
+"""Bit packing, popcount kernels, and the binary coders."""
+
+import numpy as np
+import pytest
+
+from repro.hashindex import codes as codes_mod
+from repro.hashindex.codes import (
+    ITQCoder,
+    RandomProjectionCoder,
+    create_coder,
+    hamming_distances,
+    hamming_topk,
+    pack_bits,
+    popcount,
+    unpack_bits,
+    words_for_bits,
+)
+
+
+class TestPacking:
+    def test_words_for_bits(self):
+        assert words_for_bits(1) == 1
+        assert words_for_bits(64) == 1
+        assert words_for_bits(65) == 2
+        assert words_for_bits(128) == 2
+
+    @pytest.mark.parametrize("nbits", [1, 7, 64, 65, 100, 128, 200])
+    def test_pack_unpack_roundtrip(self, rng, nbits):
+        bits = rng.random((9, nbits)) > 0.5
+        packed = pack_bits(bits)
+        assert packed.dtype == np.uint64
+        assert packed.shape == (9, words_for_bits(nbits))
+        np.testing.assert_array_equal(unpack_bits(packed, nbits), bits)
+
+    def test_pad_bits_are_zero(self, rng):
+        bits = np.ones((3, 70), dtype=bool)
+        packed = pack_bits(bits)
+        # 70 bits in 2 words: the top 58 bits of word 1 must be zero, so
+        # padding never contributes to Hamming distances.
+        assert int(popcount(packed).sum()) == 3 * 70
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.zeros(8, dtype=bool))
+
+
+class TestHamming:
+    def test_matches_naive_bit_comparison(self, rng):
+        a = rng.random((5, 130)) > 0.5
+        b = rng.random((17, 130)) > 0.5
+        distances = hamming_distances(pack_bits(a), pack_bits(b))
+        naive = (a[:, None, :] != b[None, :, :]).sum(axis=2)
+        np.testing.assert_array_equal(distances, naive)
+
+    def test_table_fallback_matches_native(self, rng, monkeypatch):
+        words = rng.integers(0, 2**63, size=(6, 3)).astype(np.uint64)
+        native = popcount(words)
+        monkeypatch.setattr(codes_mod, "_HAS_BITWISE_COUNT", False)
+        np.testing.assert_array_equal(popcount(words), native)
+
+    def test_chunking_invariant(self, rng, monkeypatch):
+        a = pack_bits(rng.random((8, 128)) > 0.5)
+        b = pack_bits(rng.random((50, 128)) > 0.5)
+        full = hamming_distances(a, b)
+        monkeypatch.setattr(codes_mod, "_XOR_CHUNK_ELEMS", 64)
+        np.testing.assert_array_equal(hamming_distances(a, b), full)
+
+    def test_topk_orders_by_distance(self, rng):
+        gallery = pack_bits(rng.random((40, 64)) > 0.5)
+        queries = pack_bits(rng.random((3, 64)) > 0.5)
+        indexes, distances = hamming_topk(queries, gallery, k=10)
+        assert indexes.shape == distances.shape == (3, 10)
+        for row_indexes, row_distances in zip(indexes, distances):
+            assert list(row_distances) == sorted(row_distances)
+            assert len(set(row_indexes)) == 10
+
+    def test_topk_identical_codes_rank_first(self, rng):
+        gallery = pack_bits(rng.random((20, 64)) > 0.5)
+        indexes, distances = hamming_topk(gallery[4:5], gallery, k=3)
+        assert indexes[0, 0] == 4
+        assert distances[0, 0] == 0
+
+    def test_topk_batch_of_one_matches_batch(self, rng):
+        gallery = pack_bits(rng.random((30, 64)) > 0.5)
+        queries = pack_bits(rng.random((6, 64)) > 0.5)
+        batch_indexes, _ = hamming_topk(queries, gallery, k=5)
+        for row, query in enumerate(queries):
+            single, _ = hamming_topk(query[None, :], gallery, k=5)
+            np.testing.assert_array_equal(single[0], batch_indexes[row])
+
+
+class TestCoders:
+    @pytest.mark.parametrize("name", ["lsh", "itq"])
+    def test_encode_shape_and_determinism(self, rng, name):
+        matrix = rng.normal(size=(50, 12))
+        coder_a = create_coder(name, nbits=96, rng=3)
+        coder_b = create_coder(name, nbits=96, rng=3)
+        codes_a = coder_a.fit(matrix).encode(matrix)
+        codes_b = coder_b.fit(matrix).encode(matrix)
+        assert codes_a.shape == (50, 2)
+        np.testing.assert_array_equal(codes_a, codes_b)
+
+    @pytest.mark.parametrize("name", ["lsh", "itq"])
+    def test_unfit_encode_raises(self, name):
+        with pytest.raises(RuntimeError):
+            create_coder(name, nbits=32).encode(np.zeros((2, 4)))
+
+    def test_unknown_coder_raises(self):
+        with pytest.raises(KeyError):
+            create_coder("simhash-9000", nbits=32)
+
+    def test_invalid_nbits(self):
+        with pytest.raises(ValueError):
+            RandomProjectionCoder(nbits=0)
+        with pytest.raises(ValueError):
+            ITQCoder(nbits=-4)
+
+    def test_itq_pads_projection_beyond_rank(self, rng):
+        # 50 rows of dim 4 have rank ≤ 4 < 64 bits: the projection must
+        # be padded so codes still carry all 64 bits.
+        matrix = rng.normal(size=(50, 4))
+        coder = ITQCoder(nbits=64, rng=0).fit(matrix)
+        assert coder._projection.shape == (4, 64)
+
+    def test_codes_preserve_neighbourhoods(self, rng):
+        """Near-duplicate rows must land closer in Hamming space than
+        rows from a far-away cluster (the property rerank relies on)."""
+        base = rng.normal(size=(1, 16))
+        near = base + 0.01 * rng.normal(size=(30, 16))
+        far = base + 10.0 + rng.normal(size=(30, 16))
+        matrix = np.concatenate([near, far])
+        for name in ("lsh", "itq"):
+            coder = create_coder(name, nbits=128, rng=1).fit(matrix)
+            packed = coder.encode(matrix)
+            query = coder.encode(base)
+            distances = hamming_distances(query, packed)[0]
+            assert distances[:30].mean() < distances[30:].mean()

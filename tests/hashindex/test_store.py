@@ -1,0 +1,91 @@
+"""MemmapStore: atomic persistence + mapped-byte accounting."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.hashindex.store import MemmapStore, total_mapped_bytes
+
+
+class TestPutGet:
+    def test_roundtrip_is_memmapped_and_readonly(self, rng, tmp_path):
+        store = MemmapStore(tmp_path)
+        array = rng.normal(size=(20, 4))
+        view = store.put("features", array)
+        assert isinstance(view, np.memmap)
+        np.testing.assert_array_equal(view, array)
+        np.testing.assert_array_equal(store.get("features"), array)
+        with pytest.raises((ValueError, OSError)):
+            view[0, 0] = 99.0
+
+    def test_contains(self, tmp_path):
+        store = MemmapStore(tmp_path)
+        store.put("a", np.zeros(3))
+        assert "a" in store
+        assert "b" not in store
+
+    def test_replace_swaps_payload_atomically(self, rng, tmp_path):
+        store = MemmapStore(tmp_path)
+        store.put("codes", np.zeros((10, 2), dtype=np.uint64))
+        replacement = rng.integers(0, 100, size=(4, 2)).astype(np.uint64)
+        store.put("codes", replacement)
+        np.testing.assert_array_equal(store.get("codes"), replacement)
+        # No stray .tmp files survive the os.replace.
+        assert not [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+
+
+class TestAccounting:
+    def test_mapped_bytes_tracks_payloads(self, tmp_path):
+        store = MemmapStore(tmp_path)
+        assert store.mapped_bytes == 0
+        store.put("a", np.zeros((10, 4)))
+        assert store.mapped_bytes == 10 * 4 * 8
+        store.put("b", np.zeros((5, 2), dtype=np.uint8))
+        assert store.mapped_bytes == 10 * 4 * 8 + 5 * 2
+
+    def test_replace_does_not_double_count(self, tmp_path):
+        store = MemmapStore(tmp_path)
+        store.put("a", np.zeros((100, 8)))
+        store.put("a", np.zeros((2, 2)))
+        assert store.mapped_bytes == 2 * 2 * 8
+
+    def test_total_mapped_bytes_spans_stores(self, tmp_path):
+        before = total_mapped_bytes()
+        first = MemmapStore(tmp_path / "one")
+        second = MemmapStore(tmp_path / "two")
+        first.put("x", np.zeros(16))
+        second.put("y", np.zeros(16))
+        assert total_mapped_bytes() == before + 2 * 16 * 8
+        first.close()
+        assert total_mapped_bytes() == before + 16 * 8
+        second.close()
+        assert total_mapped_bytes() == before
+
+
+class TestLifecycle:
+    def test_owned_tempdir_removed_on_close(self):
+        store = MemmapStore()
+        directory = store.directory
+        store.put("a", np.zeros(4))
+        assert os.path.isdir(directory)
+        store.close()
+        assert not os.path.exists(directory)
+
+    def test_explicit_directory_survives_close(self, tmp_path):
+        store = MemmapStore(tmp_path)
+        store.put("a", np.zeros(4))
+        store.close()
+        assert os.path.isdir(tmp_path)
+
+    def test_put_after_close_raises(self, tmp_path):
+        store = MemmapStore(tmp_path)
+        store.close()
+        with pytest.raises(RuntimeError):
+            store.put("a", np.zeros(2))
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = MemmapStore(tmp_path)
+        store.put("a", np.zeros(4))
+        store.close()
+        store.close()

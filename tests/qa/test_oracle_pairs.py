@@ -22,6 +22,7 @@ REQUIRED = {
     "gallery.replicated_vs_single",
     "sparse_query.sequential_vs_speculative",
     "serving.batched_vs_sequential",
+    "hashindex.compressed_vs_exact",
 }
 
 

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.retrieval import FeatureIndex
-from repro.retrieval.ann import IVFIndex, _kmeans
+from repro.retrieval.ann import (
+    IVFIndex,
+    _kmeans,
+    assign_clusters,
+    squared_distances,
+)
 
 
 @pytest.fixture
@@ -33,6 +38,56 @@ class TestKMeans:
         for center in ([0, 0], [10, 0], [0, 10]):
             distances = np.linalg.norm(centroids - np.asarray(center), axis=1)
             assert distances.min() < 1.5
+
+
+def _broadcast_kmeans(points, num_clusters, iterations=15, rng=None):
+    """The seed implementation: (n, k, d) broadcast distance cube."""
+    from repro.utils.seeding import seeded_rng
+
+    rng = seeded_rng(rng)
+    chosen = rng.choice(points.shape[0],
+                        size=min(num_clusters, points.shape[0]),
+                        replace=False)
+    centroids = points[chosen].copy()
+    for _ in range(iterations):
+        distances = ((points[:, None, :] - centroids[None, :, :]) ** 2
+                     ).sum(axis=2)
+        assignment = distances.argmin(axis=1)
+        for cluster in range(centroids.shape[0]):
+            members = points[assignment == cluster]
+            if len(members):
+                centroids[cluster] = members.mean(axis=0)
+    return centroids
+
+
+class TestChunkedDistances:
+    def test_squared_distances_match_broadcast(self, rng):
+        points = rng.normal(size=(40, 6))
+        centroids = rng.normal(size=(5, 6))
+        naive = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(squared_distances(points, centroids),
+                                   naive, rtol=1e-10, atol=1e-10)
+
+    def test_assign_clusters_chunking_invariant(self, rng):
+        points = rng.normal(size=(100, 5))
+        centroids = rng.normal(size=(7, 5))
+        full = assign_clusters(points, centroids)
+        tiny_chunks = assign_clusters(points, centroids, chunk_elems=8)
+        np.testing.assert_array_equal(full, tiny_chunks)
+
+    def test_kmeans_bit_identical_to_broadcast_seed(self, clustered_features):
+        """The expansion form must reproduce the seed clustering exactly
+        on the seeded test galleries (same rng draws, same assignments,
+        therefore the same per-cluster means)."""
+        features, _, _ = clustered_features
+        ours = _kmeans(features, 3, rng=7)
+        seed_impl = _broadcast_kmeans(features, 3, rng=7)
+        np.testing.assert_array_equal(ours, seed_impl)
+
+    def test_kmeans_bit_identical_on_random_gallery(self, rng):
+        points = rng.normal(size=(80, 6))
+        np.testing.assert_array_equal(
+            _kmeans(points, 6, rng=13), _broadcast_kmeans(points, 6, rng=13))
 
 
 class TestIVFIndex:
@@ -99,6 +154,50 @@ class TestIVFIndex:
         index = IVFIndex(rng=rng)
         index.add_batch(ids, labels, features)
         assert sorted(set(index.labels_of())) == [0, 1, 2]
+
+    def test_one_stack_per_build(self, clustered_features, rng, monkeypatch):
+        """The gallery matrix is stacked once per build, not per query
+        (the seed re-ran ``np.stack`` on every ``search`` call)."""
+        features, ids, labels = clustered_features
+        index = IVFIndex(num_cells=3, nprobe=2, rng=rng)
+        index.add_batch(ids, labels, features)
+
+        calls = {"stack": 0}
+        real_stack = np.stack
+
+        def counting_stack(*args, **kwargs):
+            calls["stack"] += 1
+            return real_stack(*args, **kwargs)
+
+        monkeypatch.setattr(np, "stack", counting_stack)
+        index.build()
+        for _ in range(5):
+            index.search(np.zeros(2), k=3)
+        index.search_batch(rng.normal(size=(4, 2)), k=3)
+        assert calls["stack"] == 1
+        # A new add invalidates the cache; the next search restacks once.
+        index.add("late", 0, np.zeros(2))
+        index.search(np.zeros(2), k=3)
+        index.search(np.zeros(2), k=3)
+        assert calls["stack"] == 2
+
+    def test_search_batch_bit_identical_to_sequential(self, rng):
+        """Vectorized batch (grouped by probe set) must match per-query
+        search exactly, including partial-probe configurations."""
+        features = rng.normal(size=(90, 6))
+        ids = [f"v{i}" for i in range(90)]
+        labels = [i % 4 for i in range(90)]
+        index = IVFIndex(num_cells=6, nprobe=2, rng=5)
+        index.add_batch(ids, labels, features)
+        # Mix of spread-out queries and near-duplicates that share a
+        # probe set (exercising the grouped fast path).
+        queries = np.concatenate([
+            rng.normal(size=(5, 6)),
+            np.tile(rng.normal(size=(1, 6)), (3, 1)) + 1e-9,
+        ])
+        batched = index.search_batch(queries, k=7)
+        sequential = [index.search(query, k=7) for query in queries]
+        assert batched == sequential
 
     def test_usable_inside_data_node(self, clustered_features, rng):
         from repro.retrieval import DataNode
