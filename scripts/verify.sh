@@ -10,7 +10,10 @@
 #   6. the serving front-end suite + its smoke bench (gates the 1.5x
 #      batched-throughput floor and timeline determinism),
 #   7. the compressed index tier suite + the ANN smoke bench (gates
-#      recall@10 >= 0.9 and the memmap residency ceiling).
+#      recall@10 >= 0.9 and the memmap residency ceiling),
+#   8. the trace-and-fuse smoke bench (gates the 1.3x replay floor) and
+#      a second golden-trace pass with REPRO_NN_FUSE=1 (replay must be
+#      byte-identical to the eager goldens).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -48,5 +51,11 @@ python -m pytest -x -q tests/hashindex
 
 echo "== ann smoke bench =="
 python benchmarks/bench_ann.py --smoke
+
+echo "== jit trace-and-fuse smoke bench =="
+python benchmarks/bench_jit.py --smoke
+
+echo "== qa golden-trace gate (REPRO_NN_FUSE=1) =="
+REPRO_NN_FUSE=1 python -m repro.qa.regen --check
 
 echo "verify.sh: OK"

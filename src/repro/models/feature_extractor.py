@@ -40,8 +40,16 @@ class FeatureExtractor(Module):
     # Video-level conveniences
     # -------------------------------------------------------------- #
     def embed_videos(self, videos: Video | list[Video],
-                     batch_size: int = 16) -> np.ndarray:
-        """Embed videos without building a graph; returns ``(B, D)`` array."""
+                     batch_size: int = 16,
+                     fuse: bool | None = None) -> np.ndarray:
+        """Embed videos without building a graph; returns ``(B, D)`` array.
+
+        ``fuse=True`` routes each forward through the trace-and-fuse
+        replay engine (:mod:`repro.nn.jit`): the first call per batch
+        shape records a replay schedule, later calls skip graph
+        construction entirely.  Replays are bit-identical to eager;
+        ``None`` follows the global ``REPRO_NN_FUSE`` switch.
+        """
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         if isinstance(videos, Video):
@@ -53,16 +61,36 @@ class FeatureExtractor(Module):
         was_training = self.training
         if was_training:
             self.eval()
+        run = self._fused_forward() if self._resolve_fuse(fuse) \
+            else self.forward
         chunks = []
         try:
             with no_grad():
                 for start in range(0, len(videos), batch_size):
                     batch = inputs[start : start + batch_size]
-                    chunks.append(self.forward(Tensor(batch)).data)
+                    chunks.append(run(Tensor(batch)).data)
         finally:
             if was_training:
                 self.train()
         return np.concatenate(chunks, axis=0)
+
+    @staticmethod
+    def _resolve_fuse(fuse: bool | None) -> bool:
+        if fuse is not None:
+            return bool(fuse)
+        from repro.nn import jit
+
+        return jit.enabled()
+
+    def _fused_forward(self):
+        """The lazily-built :class:`~repro.nn.jit.CompiledModule` wrapper."""
+        compiled = self.__dict__.get("_jit_compiled")
+        if compiled is None:
+            from repro.nn import jit
+
+            compiled = jit.compile(self)
+            self.__dict__["_jit_compiled"] = compiled
+        return compiled
 
     def embed_tensor(self, x: Tensor) -> Tensor:
         """Differentiable embedding of an already-built input tensor."""

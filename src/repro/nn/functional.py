@@ -13,7 +13,13 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-from repro.nn.tensor import Tensor, get_op_impl, is_grad_enabled, make_op
+from repro.nn.tensor import (
+    Tensor,
+    get_op_impl,
+    get_tracer,
+    is_grad_enabled,
+    make_op,
+)
 
 
 def _gemm_kernels():
@@ -76,9 +82,8 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
 
     padded = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
     windows = sliding_window_view(padded, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
-    out = np.einsum("bchwij,fcij->bfhw", windows, weight.data, optimize=True)
-    if bias is not None:
-        out = out + bias.data.reshape(1, -1, 1, 1)
+    raw = np.einsum("bchwij,fcij->bfhw", windows, weight.data, optimize=True)
+    out = raw if bias is None else raw + bias.data.reshape(1, -1, 1, 1)
     out_h, out_w = out.shape[2], out.shape[3]
 
     parents = (x, weight) if bias is None else (x, weight, bias)
@@ -105,7 +110,25 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
         grad_b = grad.sum(axis=(0, 2, 3)) if bias.requires_grad else None
         return grad_x, grad_w, grad_b
 
-    return make_op(out, parents, backward, "conv2d")
+    result = make_op(out, parents, backward, "conv2d")
+    tracer = get_tracer()
+    if tracer is not None:
+        src, w_arr, buf = x.data, weight.data, result.data
+        bias_r = None if bias is None else bias.data.reshape(1, -1, 1, 1)
+        core = (slice(None), slice(None), slice(ph, ph + height),
+                slice(pw, pw + width))
+
+        def run():
+            # Refresh ``padded`` (and through it the ``windows`` view the
+            # backward closure captured), then recompute in place.
+            padded[core] = src
+            np.einsum("bchwij,fcij->bfhw", windows, w_arr, out=raw,
+                      optimize=True)
+            if bias_r is not None:
+                np.add(raw, bias_r, out=buf)
+
+        tracer.record(result, parents, run, op="conv2d")
+    return result
 
 
 def _conv2d_gemm(kernels, x: Tensor, weight: Tensor, bias: Tensor | None,
@@ -133,7 +156,16 @@ def _conv2d_gemm(kernels, x: Tensor, weight: Tensor, bias: Tensor | None,
         grad_b = grad.sum(axis=(0, 2, 3)) if bias.requires_grad else None
         return grad_x, grad_w, grad_b
 
-    return make_op(out, parents, backward, "conv2d.gemm")
+    result = make_op(out, parents, backward, "conv2d.gemm")
+    tracer = get_tracer()
+    if tracer is not None:
+        tracer.record(
+            result, parents,
+            kernels.bind_replay(x.data, weight.data,
+                                None if bias is None else bias.data,
+                                cols, result.data, stride, padding),
+            op="conv2d.gemm")
+    return result
 
 
 def conv3d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
@@ -164,9 +196,8 @@ def conv3d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     windows = sliding_window_view(padded, (kt, kh, kw), axis=(2, 3, 4))[
         :, :, ::st, ::sh, ::sw
     ]
-    out = np.einsum("bcthwijk,fcijk->bfthw", windows, weight.data, optimize=True)
-    if bias is not None:
-        out = out + bias.data.reshape(1, -1, 1, 1, 1)
+    raw = np.einsum("bcthwijk,fcijk->bfthw", windows, weight.data, optimize=True)
+    out = raw if bias is None else raw + bias.data.reshape(1, -1, 1, 1, 1)
     out_t, out_h, out_w = out.shape[2], out.shape[3], out.shape[4]
 
     parents = (x, weight) if bias is None else (x, weight, bias)
@@ -200,7 +231,23 @@ def conv3d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
         grad_b = grad.sum(axis=(0, 2, 3, 4)) if bias.requires_grad else None
         return grad_x, grad_w, grad_b
 
-    return make_op(out, parents, backward, "conv3d")
+    result = make_op(out, parents, backward, "conv3d")
+    tracer = get_tracer()
+    if tracer is not None:
+        src, w_arr, buf = x.data, weight.data, result.data
+        bias_r = None if bias is None else bias.data.reshape(1, -1, 1, 1, 1)
+        core = (slice(None), slice(None), slice(pt, pt + frames),
+                slice(ph, ph + height), slice(pw, pw + width))
+
+        def run():
+            padded[core] = src
+            np.einsum("bcthwijk,fcijk->bfthw", windows, w_arr, out=raw,
+                      optimize=True)
+            if bias_r is not None:
+                np.add(raw, bias_r, out=buf)
+
+        tracer.record(result, parents, run, op="conv3d")
+    return result
 
 
 def _conv3d_gemm(kernels, x: Tensor, weight: Tensor, bias: Tensor | None,
@@ -227,7 +274,16 @@ def _conv3d_gemm(kernels, x: Tensor, weight: Tensor, bias: Tensor | None,
         grad_b = grad.sum(axis=(0, 2, 3, 4)) if bias.requires_grad else None
         return grad_x, grad_w, grad_b
 
-    return make_op(out, parents, backward, "conv3d.gemm")
+    result = make_op(out, parents, backward, "conv3d.gemm")
+    tracer = get_tracer()
+    if tracer is not None:
+        tracer.record(
+            result, parents,
+            kernels.bind_replay(x.data, weight.data,
+                                None if bias is None else bias.data,
+                                cols, result.data, stride, padding),
+            op="conv3d.gemm")
+    return result
 
 
 # ---------------------------------------------------------------------- #
@@ -288,7 +344,27 @@ def max_pool3d(x: Tensor, kernel_size, stride=None) -> Tensor:
                     ] += contrib[:, :, :, :, :, it, ih, iw]
         return (grad_x,)
 
-    return make_op(out, (x,), backward, "max_pool3d")
+    result = make_op(out, (x,), backward, "max_pool3d")
+    tracer = get_tracer()
+    if tracer is not None:
+        src, buf = x.data, result.data
+        slabs = [
+            (slice(None), slice(None),
+             slice(it, it + out_t * stride[0], stride[0]),
+             slice(ih, ih + out_h * stride[1], stride[1]),
+             slice(iw, iw + out_w * stride[2], stride[2]))
+            for it in range(kernel[0])
+            for ih in range(kernel[1])
+            for iw in range(kernel[2])
+        ]
+
+        def run():
+            np.copyto(buf, src[slabs[0]])
+            for slab in slabs[1:]:
+                np.maximum(buf, src[slab], out=buf)
+
+        tracer.record(result, (x,), run, op="max_pool3d")
+    return result
 
 
 def avg_pool3d(x: Tensor, kernel_size, stride=None) -> Tensor:
@@ -315,7 +391,14 @@ def avg_pool3d(x: Tensor, kernel_size, stride=None) -> Tensor:
                     ] += share
         return (grad_x,)
 
-    return make_op(out, (x,), backward, "avg_pool3d")
+    result = make_op(out, (x,), backward, "avg_pool3d")
+    tracer = get_tracer()
+    if tracer is not None:
+        buf = result.data
+        tracer.record(result, (x,),
+                      lambda: np.mean(windows, axis=(5, 6, 7), out=buf),
+                      op="avg_pool3d")
+    return result
 
 
 def global_avg_pool3d(x: Tensor) -> Tensor:

@@ -1,0 +1,47 @@
+"""JIT-lite: trace a model forward once per shape, replay a flat schedule.
+
+DUO-style black-box attacks evaluate thousands of small-shape forward
+passes, so Python dispatch — walking the module tree, rebuilding the
+autograd tape, re-allocating every intermediate — dominates BLAS time.
+This package removes that overhead the same way the GEMM conv plan cache
+removed per-call conv planning: pay the bookkeeping once per input
+signature, then replay.
+
+* :func:`compile` wraps a module in a :class:`CompiledModule` that traces
+  the first call per ``(shape, dtype, grad-mode, training)`` signature and
+  replays a pre-bound kernel schedule afterwards.
+* :mod:`~repro.nn.jit.tracer` records each op's in-place replay rule while
+  the eager pass runs — replay is bit-identical by construction because it
+  re-executes the same numpy expressions in the same order into the same
+  buffers.
+* :mod:`~repro.nn.jit.fuse` collapses elementwise chains into single
+  schedule slots and aliases their intermediates into one arena buffer.
+* Guards fall back to eager on installed profiling/NaN hooks, rebound
+  parameters or batchnorm buffers, and untraceable constructs (training
+  batchnorm/dropout, data-dependent selects), so instrumentation and
+  stateful defenses always observe real executions.
+
+See DESIGN.md §14 for lifecycle, fusion rules, and fallback semantics.
+"""
+
+from repro.nn.jit.compiled import (
+    CompiledModule,
+    clear_trace_caches,
+    compile,
+    enabled,
+    set_fuse,
+    trace_cache_info,
+)
+from repro.nn.jit.program import TraceProgram
+from repro.nn.jit.tracer import Tracer
+
+__all__ = [
+    "CompiledModule",
+    "TraceProgram",
+    "Tracer",
+    "clear_trace_caches",
+    "compile",
+    "enabled",
+    "set_fuse",
+    "trace_cache_info",
+]

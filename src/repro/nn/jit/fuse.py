@@ -1,0 +1,82 @@
+"""Fusion pass: collapse elementwise chains into single schedule slots.
+
+A recorded schedule is a flat list of :class:`~repro.nn.jit.tracer.Step`
+objects.  Adjacent elementwise steps where the producer's output is read
+*only* by the consumer form a chain: the intermediate buffer is dead the
+moment the consumer runs, so we alias it away — every step in the chain
+computes through the chain's final buffer (the kernels are alias-safe by
+contract) — and emit the whole chain as one runner.  Replay then touches
+one buffer where eager allocated N, and the freed intermediates shrink
+the arena.
+
+Correctness conditions for merging step ``t`` into the chain ending at
+``p`` (its immediate predecessor in the schedule):
+
+* both are elementwise (``fn`` steps) and ``t`` reads ``p.out`` directly
+  (by identity — a read through a *view* of ``p.out`` would dodge the
+  rebinding, so views block fusion);
+* ``p.out``'s last reader in the whole schedule is ``t`` (liveness is
+  computed on base arrays, so a later view-read also keeps it alive);
+* same shape and dtype (a broadcasting consumer needs the real buffer);
+* neither buffer is protected (the program output must survive replay);
+* both buffers are allocation roots (``base is None``) — aliasing a view
+  would silently alias its whole base.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fuse_steps"]
+
+
+def _base(arr: np.ndarray) -> np.ndarray:
+    while isinstance(arr, np.ndarray) and arr.base is not None:
+        arr = arr.base
+    return arr
+
+
+def fuse_steps(steps, protected: set[int]):
+    """Group ``steps`` into slots, aliasing fused intermediates away.
+
+    Returns ``(slots, stats)`` where each slot is a list of steps sharing
+    one runner and ``stats`` counts fused steps and bytes of intermediate
+    buffers eliminated.  Mutates the steps' ``srcs``/``out`` bindings.
+    """
+    last_read: dict[int, int] = {}
+    for i, step in enumerate(steps):
+        for src in step.srcs:
+            if isinstance(src, np.ndarray):
+                last_read[id(_base(src))] = i
+
+    slots: list[list] = []
+    fused_steps = 0
+    bytes_saved = 0
+    for i, step in enumerate(steps):
+        prev = slots[-1][-1] if slots else None
+        if (
+            prev is not None
+            and prev.fusible
+            and step.fusible
+            and any(src is prev.out for src in step.srcs)
+            and last_read.get(id(prev.out), -1) == i
+            and id(prev.out) not in protected
+            and prev.out.shape == step.out.shape
+            and prev.out.dtype == step.out.dtype
+            and prev.out.base is None
+            and step.out.base is None
+        ):
+            dead = prev.out
+            bytes_saved += dead.nbytes
+            fused_steps += 1
+            for chained in slots[-1]:
+                if chained.out is dead:
+                    chained.out = step.out
+                chained.srcs = tuple(
+                    step.out if src is dead else src for src in chained.srcs)
+            step.srcs = tuple(
+                step.out if src is dead else src for src in step.srcs)
+            slots[-1].append(step)
+        else:
+            slots.append([step])
+    return slots, {"fused_steps": fused_steps, "bytes_saved": bytes_saved}

@@ -14,7 +14,13 @@ import numpy as np
 
 from repro.nn import functional as F
 from repro.nn import init
-from repro.nn.tensor import Tensor, concatenate, is_grad_enabled, stack
+from repro.nn.tensor import (
+    Tensor,
+    concatenate,
+    get_tracer,
+    is_grad_enabled,
+    stack,
+)
 from repro.utils.seeding import seeded_rng
 
 # Forward-dispatch profiling hook (installed by repro.obs.profiler).
@@ -299,6 +305,11 @@ class BatchNorm(Module):
         reduce_axes, stat_shape = self._stat_geometry(x.ndim)
 
         if self.training:
+            tracer = get_tracer()
+            if tracer is not None:
+                # Training-mode batchnorm mutates running stats per call;
+                # a replay would freeze them at their traced values.
+                tracer.poison("batchnorm: training-mode running-stat update")
             mean = x.mean(axis=reduce_axes, keepdims=True)
             centered = x - mean
             var = (centered * centered).mean(axis=reduce_axes, keepdims=True)
@@ -325,7 +336,33 @@ class BatchNorm(Module):
                 out *= inv
                 out *= self.weight.data.reshape(stat_shape)
                 out += self.bias.data.reshape(stat_shape)
-                return Tensor(out)
+                result = Tensor(out)
+                tracer = get_tracer()
+                if tracer is not None:
+                    # This path bypasses Tensor._make, so register the
+                    # whole affine transform as one fusible step and pin
+                    # the running stats (a _set_buffer rebinds them).
+                    tracer.guard_buffer(self, "running_mean")
+                    tracer.guard_buffer(self, "running_var")
+                    mean_r = self.running_mean.reshape(stat_shape)
+                    w_r = self.weight.data.reshape(stat_shape)
+                    b_r = self.bias.data.reshape(stat_shape)
+
+                    def bn(srcs, o, mean_r=mean_r, inv=inv, w_r=w_r, b_r=b_r):
+                        np.subtract(srcs[0], mean_r, out=o)
+                        o *= inv
+                        o *= w_r
+                        o += b_r
+
+                    tracer.record_ew(result, (x, self.weight, self.bias),
+                                     bn, (x.data,), op="batchnorm")
+                return result
+            tracer = get_tracer()
+            if tracer is not None:
+                # The running stats enter the graph as view-wrapping leaf
+                # tensors below; pin the underlying buffers by identity.
+                tracer.guard_buffer(self, "running_mean")
+                tracer.guard_buffer(self, "running_var")
             mean = Tensor(self.running_mean.reshape(stat_shape))
             centered = x - mean
             var = Tensor(self.running_var.reshape(stat_shape))
@@ -389,6 +426,11 @@ class Dropout(Module):
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:
             return x
+        tracer = get_tracer()
+        if tracer is not None:
+            # Each training call draws a fresh mask from the module rng;
+            # replaying a fixed mask would change the random stream.
+            tracer.poison("dropout: training-mode rng draw")
         keep = 1.0 - self.p
         mask = (self._rng.random(x.shape) < keep).astype(x.dtype) / keep
         return x * Tensor(mask)

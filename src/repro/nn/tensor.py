@@ -48,6 +48,26 @@ def get_autograd_hooks() -> tuple[
     return _MAKE_HOOK, _BACKWARD_HOOK
 
 
+# Trace recorder (installed by repro.nn.jit while capturing a forward).
+# While active, every op additionally registers a replay rule with the
+# tracer: either a fusible in-place elementwise kernel, an opaque thunk
+# recomputing the op's output buffer, or a view annotation.  ``None``
+# keeps the uninstrumented hot path at one global read per op, the same
+# contract as the profiling hooks above.
+_TRACER = None
+
+
+def set_tracer(tracer) -> None:
+    """Install (or clear, with None) the active trace recorder."""
+    global _TRACER
+    _TRACER = tracer
+
+
+def get_tracer():
+    """Return the active trace recorder (or ``None``)."""
+    return _TRACER
+
+
 @contextlib.contextmanager
 def no_grad():
     """Context manager disabling graph construction (inference mode)."""
@@ -63,6 +83,18 @@ def no_grad():
 def is_grad_enabled() -> bool:
     """Return whether operations currently record the autograd graph."""
     return _GRAD_ENABLED
+
+
+def _array_root(arr: np.ndarray) -> np.ndarray:
+    """Follow ``.base`` to the array that owns the memory.
+
+    ``reshape`` on a non-contiguous array returns a view of a fresh
+    temporary copy, so ``.base is not None`` alone cannot distinguish
+    "aliases the parent" from "copy of the parent" — the roots can.
+    """
+    while isinstance(arr, np.ndarray) and arr.base is not None:
+        arr = arr.base
+    return arr
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -85,6 +117,62 @@ def _as_array(value, dtype=None) -> np.ndarray:
     if arr.dtype == np.float64 and dtype is None:
         return arr
     return arr
+
+
+# ---------------------------------------------------------------------- #
+# In-place elementwise kernels used by trace replay (repro.nn.jit).
+# Each mirrors the numpy expression of its eager op bit-for-bit, and each
+# is alias-safe: ``out`` may alias any entry of ``srcs`` (the fusion pass
+# relies on this to collapse a chain's intermediates into one buffer).
+# ---------------------------------------------------------------------- #
+def _ew_add(srcs, out):
+    np.add(srcs[0], srcs[1], out=out)
+
+
+def _ew_sub(srcs, out):
+    np.subtract(srcs[0], srcs[1], out=out)
+
+
+def _ew_mul(srcs, out):
+    np.multiply(srcs[0], srcs[1], out=out)
+
+
+def _ew_div(srcs, out):
+    np.divide(srcs[0], srcs[1], out=out)
+
+
+def _ew_exp(srcs, out):
+    np.exp(srcs[0], out=out)
+
+
+def _ew_log(srcs, out):
+    np.log(srcs[0], out=out)
+
+
+def _ew_sqrt(srcs, out):
+    np.sqrt(srcs[0], out=out)
+
+
+def _ew_abs(srcs, out):
+    np.abs(srcs[0], out=out)
+
+
+def _ew_relu(srcs, out):
+    np.maximum(srcs[0], 0.0, out=out)
+
+
+def _ew_tanh(srcs, out):
+    np.tanh(srcs[0], out=out)
+
+
+def _ew_sigmoid(srcs, out):
+    # Staged so that every intermediate lands in ``out``; the sequence is
+    # bitwise identical to ``1.0 / (1.0 + np.exp(-x))`` because IEEE-754
+    # addition is commutative and each ufunc is evaluated in eager order.
+    np.negative(srcs[0], out=out)
+    np.exp(out, out=out)
+    np.add(out, 1.0, out=out)
+    np.divide(1.0, out, out=out)
 
 
 class Tensor:
@@ -175,6 +263,11 @@ class Tensor:
             out.op = op
         if _MAKE_HOOK is not None:
             _MAKE_HOOK(op, out.data)
+        if _TRACER is not None:
+            # Coverage protocol: every op-result must be followed by a
+            # record_*/poison call; an op with no replay rule poisons the
+            # trace so replay can never silently skip a computation.
+            _TRACER.expect(out, op)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -241,7 +334,7 @@ class Tensor:
                 _unbroadcast(grad, other.shape),
             )
 
-        return _binary(self, other, data, backward, "add")
+        return _binary(self, other, data, backward, "add", ew=_ew_add)
 
     __radd__ = __add__
 
@@ -255,7 +348,7 @@ class Tensor:
                 _unbroadcast(grad * self.data, other.shape),
             )
 
-        return _binary(self, other, data, backward, "mul")
+        return _binary(self, other, data, backward, "mul", ew=_ew_mul)
 
     __rmul__ = __mul__
 
@@ -269,7 +362,7 @@ class Tensor:
                 _unbroadcast(-grad, other.shape),
             )
 
-        return _binary(self, other, data, backward, "sub")
+        return _binary(self, other, data, backward, "sub", ew=_ew_sub)
 
     def __rsub__(self, other) -> "Tensor":
         return self._coerce(other).__sub__(self)
@@ -284,7 +377,7 @@ class Tensor:
                 _unbroadcast(-grad * self.data / (other.data**2), other.shape),
             )
 
-        return _binary(self, other, data, backward, "div")
+        return _binary(self, other, data, backward, "div", ew=_ew_div)
 
     def __rtruediv__(self, other) -> "Tensor":
         return self._coerce(other).__truediv__(self)
@@ -300,7 +393,11 @@ class Tensor:
         def backward(grad, out=None):
             return (_unbroadcast(grad * exponent * self.data ** (exponent - 1), self.shape),)
 
-        return _unary(self, data, backward, "pow")
+        ew = None
+        if _TRACER is not None:
+            def ew(srcs, out, exponent=exponent):
+                np.power(srcs[0], exponent, out=out)
+        return _unary(self, data, backward, "pow", ew=ew)
 
     def __matmul__(self, other) -> "Tensor":
         other = self._coerce(other)
@@ -325,7 +422,17 @@ class Tensor:
                 gb = _unbroadcast(gb, b.shape)
             return ga, gb
 
-        return _binary(self, other, data, backward, "matmul")
+        out = _binary(self, other, data, backward, "matmul")
+        if _TRACER is not None:
+            a_arr, b_arr, buf = self.data, other.data, out.data
+            if buf.ndim >= 2:
+                run = lambda: np.matmul(a_arr, b_arr, out=buf)
+            else:
+                # Vector results: np.matmul's out= contract is awkward for
+                # sub-2d outputs, so recompute and copy (rare in models).
+                run = lambda: np.copyto(buf, a_arr @ b_arr)
+            _TRACER.record(out, (self, other), run, op="matmul")
+        return out
 
     # ------------------------------------------------------------------ #
     # Reductions
@@ -341,7 +448,14 @@ class Tensor:
                     g = np.expand_dims(g, ax)
             return (np.broadcast_to(g, self.shape).astype(self.data.dtype, copy=False),)
 
-        return _unary(self, data, backward, "sum")
+        out = _unary(self, data, backward, "sum")
+        if _TRACER is not None:
+            src, buf = self.data, out.data
+            _TRACER.record(
+                out, (self,),
+                lambda: np.sum(src, axis=axis, keepdims=keepdims, out=buf),
+                op="sum")
+        return out
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -367,7 +481,14 @@ class Tensor:
                 g = np.broadcast_to(g, self.shape)
             return (mask * g,)
 
-        return _unary(self, data, backward, "max")
+        out = _unary(self, data, backward, "max")
+        if _TRACER is not None:
+            src, buf = self.data, out.data
+            _TRACER.record(
+                out, (self,),
+                lambda: np.max(src, axis=axis, keepdims=keepdims, out=buf),
+                op="max")
+        return out
 
     def min(self, axis=None, keepdims: bool = False) -> "Tensor":
         return -((-self).max(axis=axis, keepdims=keepdims))
@@ -383,7 +504,18 @@ class Tensor:
         def backward(grad, out=None):
             return (grad.reshape(self.shape),)
 
-        return _unary(self, data, backward, "reshape")
+        out = _unary(self, data, backward, "reshape")
+        if _TRACER is not None:
+            if data is self.data or _array_root(data) is _array_root(self.data):
+                _TRACER.record_view(out, self)
+            else:
+                # Non-contiguous source: numpy had to copy.  Replay as a
+                # raveling copy into the retained output buffer.
+                src = self.data
+                dst = out.data.reshape(src.shape)
+                _TRACER.record(out, (self,), lambda: np.copyto(dst, src),
+                               op="reshape")
+        return out
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -396,7 +528,10 @@ class Tensor:
         def backward(grad, out=None):
             return (grad.transpose(inverse),)
 
-        return _unary(self, data, backward, "transpose")
+        out = _unary(self, data, backward, "transpose")
+        if _TRACER is not None:
+            _TRACER.record_view(out, self)
+        return out
 
     def __getitem__(self, index) -> "Tensor":
         data = self.data[index]
@@ -406,7 +541,18 @@ class Tensor:
             np.add.at(full, index, grad)
             return (full,)
 
-        return _unary(self, data, backward, "getitem")
+        out = _unary(self, data, backward, "getitem")
+        if _TRACER is not None:
+            if (isinstance(data, np.ndarray)
+                    and _array_root(data) is _array_root(self.data)):
+                _TRACER.record_view(out, self)
+            else:
+                # Advanced indexing (or a full-scalar index) copies.
+                src, buf = self.data, out.data
+                _TRACER.record(out, (self,),
+                               lambda: np.copyto(buf, src[index]),
+                               op="getitem")
+        return out
 
     def expand_dims(self, axis: int) -> "Tensor":
         data = np.expand_dims(self.data, axis)
@@ -414,7 +560,10 @@ class Tensor:
         def backward(grad, out=None):
             return (np.squeeze(grad, axis=axis),)
 
-        return _unary(self, data, backward, "expand_dims")
+        out = _unary(self, data, backward, "expand_dims")
+        if _TRACER is not None:
+            _TRACER.record_view(out, self)
+        return out
 
     def squeeze(self, axis: int) -> "Tensor":
         data = np.squeeze(self.data, axis=axis)
@@ -422,7 +571,10 @@ class Tensor:
         def backward(grad, out=None):
             return (np.expand_dims(grad, axis),)
 
-        return _unary(self, data, backward, "squeeze")
+        out = _unary(self, data, backward, "squeeze")
+        if _TRACER is not None:
+            _TRACER.record_view(out, self)
+        return out
 
     def pad(self, pad_width) -> "Tensor":
         """Zero-pad; ``pad_width`` follows ``numpy.pad`` conventions."""
@@ -435,7 +587,16 @@ class Tensor:
             )
             return (grad[slices],)
 
-        return _unary(self, data, backward, "pad")
+        out = _unary(self, data, backward, "pad")
+        if _TRACER is not None:
+            # np.pad always copies; the zero borders written at trace time
+            # are never touched again, so replay only refreshes the core.
+            src = self.data
+            core = tuple(slice(before, before + dim)
+                         for (before, _after), dim in zip(pad_width, src.shape))
+            dst = out.data[core]
+            _TRACER.record(out, (self,), lambda: np.copyto(dst, src), op="pad")
+        return out
 
     # ------------------------------------------------------------------ #
     # Elementwise nonlinearities
@@ -446,7 +607,7 @@ class Tensor:
         def backward(grad, out=None):
             return (grad * data,)
 
-        return _unary(self, data, backward, "exp")
+        return _unary(self, data, backward, "exp", ew=_ew_exp)
 
     def log(self) -> "Tensor":
         data = np.log(self.data)
@@ -454,7 +615,7 @@ class Tensor:
         def backward(grad, out=None):
             return (grad / self.data,)
 
-        return _unary(self, data, backward, "log")
+        return _unary(self, data, backward, "log", ew=_ew_log)
 
     def sqrt(self) -> "Tensor":
         data = np.sqrt(self.data)
@@ -462,7 +623,7 @@ class Tensor:
         def backward(grad, out=None):
             return (grad * 0.5 / np.maximum(data, 1e-12),)
 
-        return _unary(self, data, backward, "sqrt")
+        return _unary(self, data, backward, "sqrt", ew=_ew_sqrt)
 
     def abs(self) -> "Tensor":
         data = np.abs(self.data)
@@ -470,7 +631,7 @@ class Tensor:
         def backward(grad, out=None):
             return (grad * np.sign(self.data),)
 
-        return _unary(self, data, backward, "abs")
+        return _unary(self, data, backward, "abs", ew=_ew_abs)
 
     def relu(self) -> "Tensor":
         data = np.maximum(self.data, 0.0)
@@ -478,7 +639,7 @@ class Tensor:
         def backward(grad, out=None):
             return (grad * (self.data > 0),)
 
-        return _unary(self, data, backward, "relu")
+        return _unary(self, data, backward, "relu", ew=_ew_relu)
 
     def sigmoid(self) -> "Tensor":
         data = 1.0 / (1.0 + np.exp(-self.data))
@@ -486,7 +647,7 @@ class Tensor:
         def backward(grad, out=None):
             return (grad * data * (1.0 - data),)
 
-        return _unary(self, data, backward, "sigmoid")
+        return _unary(self, data, backward, "sigmoid", ew=_ew_sigmoid)
 
     def tanh(self) -> "Tensor":
         data = np.tanh(self.data)
@@ -494,7 +655,7 @@ class Tensor:
         def backward(grad, out=None):
             return (grad * (1.0 - data**2),)
 
-        return _unary(self, data, backward, "tanh")
+        return _unary(self, data, backward, "tanh", ew=_ew_tanh)
 
     def clip(self, low: float | None, high: float | None) -> "Tensor":
         """Clamp values; gradient is passed through inside the interval."""
@@ -508,7 +669,11 @@ class Tensor:
                 mask &= self.data <= high
             return (grad * mask,)
 
-        return _unary(self, data, backward, "clip")
+        ew = None
+        if _TRACER is not None:
+            def ew(srcs, out, low=low, high=high):
+                np.clip(srcs[0], low, high, out=out)
+        return _unary(self, data, backward, "clip", ew=ew)
 
     def softmax(self, axis: int = -1) -> "Tensor":
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
@@ -519,7 +684,17 @@ class Tensor:
             dot = (grad * data).sum(axis=axis, keepdims=True)
             return (data * (grad - dot),)
 
-        return _unary(self, data, backward, "softmax")
+        out = _unary(self, data, backward, "softmax")
+        if _TRACER is not None:
+            src, buf = self.data, out.data
+
+            def run():
+                np.subtract(src, src.max(axis=axis, keepdims=True), out=buf)
+                np.exp(buf, out=buf)
+                buf /= buf.sum(axis=axis, keepdims=True)
+
+            _TRACER.record(out, (self,), run, op="softmax")
+        return out
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
@@ -530,7 +705,20 @@ class Tensor:
         def backward(grad, out=None):
             return (grad - softmax * grad.sum(axis=axis, keepdims=True),)
 
-        return _unary(self, data, backward, "log_softmax")
+        out = _unary(self, data, backward, "log_softmax")
+        if _TRACER is not None:
+            src, buf, sm = self.data, out.data, softmax
+
+            def run():
+                np.subtract(src, src.max(axis=axis, keepdims=True), out=buf)
+                np.subtract(
+                    buf, np.log(np.exp(buf).sum(axis=axis, keepdims=True)),
+                    out=buf)
+                # The backward closure captured ``softmax``; refresh it too.
+                np.exp(buf, out=sm)
+
+            _TRACER.record(out, (self,), run, op="log_softmax")
+        return out
 
     # ------------------------------------------------------------------ #
     # Norms used throughout the paper
@@ -568,12 +756,18 @@ def _dispatch_backward(node: Tensor, grad: np.ndarray, grads: dict[int, np.ndarr
                 grads[key] = pgrad
 
 
-def _unary(parent: Tensor, data: np.ndarray, backward, op: str) -> Tensor:
-    return Tensor._make(data, (parent,), backward, op)
+def _unary(parent: Tensor, data: np.ndarray, backward, op: str, ew=None) -> Tensor:
+    out = Tensor._make(data, (parent,), backward, op)
+    if _TRACER is not None and ew is not None:
+        _TRACER.record_ew(out, (parent,), ew, op=op)
+    return out
 
 
-def _binary(a: Tensor, b: Tensor, data: np.ndarray, backward, op: str) -> Tensor:
-    return Tensor._make(data, (a, b), backward, op)
+def _binary(a: Tensor, b: Tensor, data: np.ndarray, backward, op: str, ew=None) -> Tensor:
+    out = Tensor._make(data, (a, b), backward, op)
+    if _TRACER is not None and ew is not None:
+        _TRACER.record_ew(out, (a, b), ew, op=op)
+    return out
 
 
 def make_op(data: np.ndarray, parents: Sequence[Tensor], backward, op: str) -> Tensor:
@@ -620,7 +814,14 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
             pieces.append(grad[tuple(index)])
         return tuple(pieces)
 
-    return Tensor._make(data, tensors, backward, "concat")
+    out = Tensor._make(data, tensors, backward, "concat")
+    if _TRACER is not None:
+        arrays = tuple(t.data for t in tensors)
+        buf = out.data
+        _TRACER.record(out, tensors,
+                       lambda: np.concatenate(arrays, axis=axis, out=buf),
+                       op="concat")
+    return out
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
@@ -631,12 +832,20 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     def backward(grad, out=None):
         return tuple(np.take(grad, i, axis=axis) for i in range(len(tensors)))
 
-    return Tensor._make(data, tensors, backward, "stack")
+    out = Tensor._make(data, tensors, backward, "stack")
+    if _TRACER is not None:
+        arrays = tuple(t.data for t in tensors)
+        buf = out.data
+        _TRACER.record(out, tensors,
+                       lambda: np.stack(arrays, axis=axis, out=buf),
+                       op="stack")
+    return out
 
 
-def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
-    """Differentiable select: ``condition`` is a plain boolean array."""
-    condition = np.asarray(condition)
+def _where(condition: np.ndarray, a: Tensor, b: Tensor, refresh=None) -> Tensor:
+    """Shared select core.  ``refresh(x, y, out=condition)`` recomputes the
+    condition from the operands during replay; without it the condition is
+    an external input the trace cannot reproduce, so tracing poisons."""
     data = np.where(condition, a.data, b.data)
 
     def backward(grad, out=None):
@@ -645,14 +854,35 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
             _unbroadcast(grad * ~condition, b.shape),
         )
 
-    return Tensor._make(data, (a, b), backward, "where")
+    out = Tensor._make(data, (a, b), backward, "where")
+    if _TRACER is not None:
+        if refresh is None:
+            _TRACER.poison("where: condition is an external array")
+        else:
+            a_arr, b_arr, buf = a.data, b.data, out.data
+
+            def run():
+                refresh(a_arr, b_arr, out=condition)
+                # Bit-identical to np.where: fill with b, overwrite the
+                # selected entries with a (copyto broadcasts both sides).
+                np.copyto(buf, b_arr)
+                np.copyto(buf, np.broadcast_to(a_arr, buf.shape),
+                          where=condition)
+
+            _TRACER.record(out, (a, b), run, op="where")
+    return out
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable select: ``condition`` is a plain boolean array."""
+    return _where(np.asarray(condition), a, b)
 
 
 def maximum(a: Tensor, b: Tensor) -> Tensor:
     """Differentiable elementwise maximum (ties send gradient to ``a``)."""
-    return where(a.data >= b.data, a, b)
+    return _where(a.data >= b.data, a, b, refresh=np.greater_equal)
 
 
 def minimum(a: Tensor, b: Tensor) -> Tensor:
     """Differentiable elementwise minimum (ties send gradient to ``a``)."""
-    return where(a.data <= b.data, a, b)
+    return _where(a.data <= b.data, a, b, refresh=np.less_equal)

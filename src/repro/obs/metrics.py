@@ -163,11 +163,24 @@ class MetricsRegistry:
         self._counters: dict[tuple[str, LabelKey], Counter] = {}
         self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
         self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+        # Interned plain-name handles: label-less lookups (the common
+        # hot-path shape) skip the sorted label-tuple build entirely.
+        self._plain_counters: dict[str, Counter] = {}
+        self._plain_gauges: dict[str, Gauge] = {}
+        self._plain_histograms: dict[str, Histogram] = {}
 
     # -------------------------------------------------------------- #
     # Instrument access (get-or-create)
     # -------------------------------------------------------------- #
     def counter(self, name: str, **labels) -> Counter:
+        if not labels:
+            instrument = self._plain_counters.get(name)
+            if instrument is None:
+                with self._lock:
+                    instrument = self._counters.setdefault(
+                        (name, ()), Counter(name, ()))
+                    self._plain_counters[name] = instrument
+            return instrument
         key = (name, _label_key(labels))
         instrument = self._counters.get(key)
         if instrument is None:
@@ -177,6 +190,14 @@ class MetricsRegistry:
         return instrument
 
     def gauge(self, name: str, **labels) -> Gauge:
+        if not labels:
+            instrument = self._plain_gauges.get(name)
+            if instrument is None:
+                with self._lock:
+                    instrument = self._gauges.setdefault(
+                        (name, ()), Gauge(name, ()))
+                    self._plain_gauges[name] = instrument
+            return instrument
         key = (name, _label_key(labels))
         instrument = self._gauges.get(key)
         if instrument is None:
@@ -186,6 +207,14 @@ class MetricsRegistry:
 
     def histogram(self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS,
                   **labels) -> Histogram:
+        if not labels:
+            instrument = self._plain_histograms.get(name)
+            if instrument is None:
+                with self._lock:
+                    instrument = self._histograms.setdefault(
+                        (name, ()), Histogram(name, (), buckets))
+                    self._plain_histograms[name] = instrument
+            return instrument
         key = (name, _label_key(labels))
         instrument = self._histograms.get(key)
         if instrument is None:
@@ -210,6 +239,9 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._plain_counters.clear()
+            self._plain_gauges.clear()
+            self._plain_histograms.clear()
 
     # -------------------------------------------------------------- #
     # Export

@@ -23,6 +23,7 @@ from repro.perf.cache import EmbeddingCache
 from repro.perf.gemm_conv import (
     clear_plan_cache,
     conv_impl,
+    plan_cache_cap,
     plan_cache_info,
     set_conv_impl,
     should_use_gemm,
@@ -41,6 +42,7 @@ __all__ = [
     "EmbeddingCache",
     "clear_plan_cache",
     "conv_impl",
+    "plan_cache_cap",
     "plan_cache_info",
     "set_conv_impl",
     "should_use_gemm",

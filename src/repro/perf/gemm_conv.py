@@ -35,6 +35,8 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.obs import counter
+
 _IMPL_CHOICES = ("auto", "gemm", "einsum")
 
 #: ``auto`` switches to GEMM once the im2col matrix has at least this many
@@ -155,9 +157,22 @@ class ConvPlan:
         return self._pad_scratch
 
 
+#: Default LRU bound shared by this plan cache and the jit trace cache;
+#: override with ``REPRO_PLAN_CACHE_CAP`` for shape-diverse workloads.
 _MAX_PLANS = 64
 _plans: OrderedDict[tuple, ConvPlan] = OrderedDict()
 _plan_misses = 0
+
+
+def plan_cache_cap() -> int:
+    """The LRU bound for per-shape caches (plans and jit traces)."""
+    value = os.environ.get("REPRO_PLAN_CACHE_CAP", "").strip()
+    if not value:
+        return _MAX_PLANS
+    cap = int(value)
+    if cap < 1:
+        raise ValueError(f"REPRO_PLAN_CACHE_CAP must be >= 1, got {cap}")
+    return cap
 
 
 def get_plan(x_shape, w_shape, stride, padding) -> ConvPlan:
@@ -169,8 +184,10 @@ def get_plan(x_shape, w_shape, stride, padding) -> ConvPlan:
         plan = ConvPlan(x_shape, w_shape, stride, padding)
         _plans[key] = plan
         _plan_misses += 1
-        if len(_plans) > _MAX_PLANS:
+        cap = plan_cache_cap()
+        while len(_plans) > cap:
             _plans.popitem(last=False)
+            counter("perf.plan_cache.evictions").inc()
     else:
         plan.hits += 1
         _plans.move_to_end(key)
@@ -178,9 +195,10 @@ def get_plan(x_shape, w_shape, stride, padding) -> ConvPlan:
 
 
 def plan_cache_info() -> dict:
-    """Plan-cache statistics (size, hits, misses, scratch bytes)."""
+    """Plan-cache statistics (size, cap, hits, misses, scratch bytes)."""
     return {
         "size": len(_plans),
+        "cap": plan_cache_cap(),
         "hits": sum(plan.hits for plan in _plans.values()),
         "misses": _plan_misses,
         "scratch_bytes": sum(
@@ -305,3 +323,49 @@ def conv3d_backward(grad, cols, weight, x_shape, padded_shape, stride,
     """GEMM backward for conv3d; returns ``(grad_x, grad_w)``."""
     return _conv_backward(grad, cols, weight, x_shape, padded_shape,
                           stride, padding, need_grad_x, need_grad_w)
+
+
+# ---------------------------------------------------------------------- #
+# Trace replay (repro.nn.jit)
+# ---------------------------------------------------------------------- #
+def bind_replay(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None,
+                cols_mat: np.ndarray, out_nd: np.ndarray,
+                stride, padding):
+    """Pre-bind one traced GEMM conv into a replay thunk.
+
+    Everything shape-dependent — the plan, the padded staging buffer, the
+    ``as_strided`` window view, the reshaped GEMM operands — is resolved
+    here, once; the returned zero-arg thunk recomputes ``out_nd`` (and
+    ``cols_mat``, which grad-mode backward closures captured) in place
+    from the *current* contents of ``x``.  Rank-agnostic: the same code
+    serves conv2d and conv3d.
+    """
+    plan = get_plan(x.shape, weight.shape, stride, padding)
+    w2 = weight.reshape(weight.shape[0], -1)
+    if any(padding):
+        base = np.zeros(plan.padded_shape, dtype=x.dtype)
+        core = plan.core_slices
+    elif x.flags.c_contiguous:
+        base, core = x, None
+    else:
+        # Mirrors the eager path's ascontiguousarray staging copy.
+        base = np.empty(x.shape, dtype=x.dtype)
+        core = (slice(None),) * x.ndim
+    item = base.itemsize
+    windows = np.lib.stride_tricks.as_strided(
+        base, shape=plan.cols_shape,
+        strides=tuple(s * item for s in plan.view_strides))
+    cols_nd = cols_mat.reshape(plan.cols_shape)
+    out_mat = out_nd.reshape(out_nd.shape[0], out_nd.shape[1], plan.positions)
+    bias_r = None if bias is None else \
+        bias.reshape((1, -1) + (1,) * (out_nd.ndim - 2))
+
+    def run():
+        if core is not None:
+            base[core] = x
+        np.copyto(cols_nd, windows)
+        np.matmul(w2, cols_mat, out=out_mat)
+        if bias_r is not None:
+            np.add(out_nd, bias_r, out=out_nd)
+
+    return run

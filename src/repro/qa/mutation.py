@@ -42,3 +42,36 @@ def seeded_conv_fault(scale: float = 1.0 + 1e-3):
         yield
     finally:
         gemm_conv._conv_forward = original
+
+
+@contextlib.contextmanager
+def seeded_fused_fault(scale: float = 1.0 + 1e-3):
+    """Corrupt the fused elementwise-add replay kernel while active.
+
+    Eager execution is untouched (it calls ``np.add`` directly); only
+    traces recorded while the fault is live replay wrong, which is the
+    silent-drift class the ``nn.fused_vs_eager`` oracle exists to catch.
+    The injection point is ``repro.nn.tensor._ew_add`` — ``Tensor.__add__``
+    resolves it from module globals at record time, so newly recorded
+    schedules pick up the fault.  Trace caches are cleared on entry *and*
+    exit: cached pre-fault schedules must not mask the fault, and cached
+    faulty schedules must not outlive it.
+    """
+    import numpy as np
+
+    from repro.nn import jit
+    from repro.nn import tensor
+
+    original = tensor._ew_add
+
+    def faulty(srcs, out):
+        original(srcs, out)
+        np.multiply(out, scale, out=out)
+
+    tensor._ew_add = faulty
+    jit.clear_trace_caches()
+    try:
+        yield
+    finally:
+        tensor._ew_add = original
+        jit.clear_trace_caches()

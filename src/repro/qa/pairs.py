@@ -572,6 +572,72 @@ register(OraclePair(
 ))
 
 
+# ---------------------------------------------------------------------- #
+# trace-and-fuse replay vs eager forward/backward
+# ---------------------------------------------------------------------- #
+def _fused_run(fused: bool, seed: int, batch: int, frames: int, grad: int):
+    from repro.nn import jit
+    from repro.nn.tensor import no_grad
+    from repro.qa.world import tiny_extractor
+
+    model = tiny_extractor(seed % 9973)
+    if grad:
+        for param in model.parameters():
+            param.requires_grad = True
+    run = jit.compile(model) if fused else model
+    rng = np.random.default_rng(seed + 1)
+    results = {}
+    # Two distinct inputs per case: trial 0 is the recording pass on the
+    # fused side (eager by construction), so only trial 1 exercises the
+    # replay schedule — stale captured buffers cannot hide behind the
+    # trace-time result.
+    for trial in range(2):
+        x = rng.standard_normal((batch, 3, frames, 8, 8))
+        if grad:
+            for param in model.parameters():
+                param.grad = None
+            xt = Tensor(x, requires_grad=True)
+            out = run(xt)
+            out.backward(np.ones_like(out.data))
+            results[f"out.{trial}"] = out.data
+            results[f"grad_x.{trial}"] = xt.grad
+            for name, param in model.named_parameters():
+                results[f"grad.{name}.{trial}"] = param.grad
+        else:
+            with no_grad():
+                results[f"out.{trial}"] = run(Tensor(x)).data
+    return results
+
+
+def _fused_compare(reference, fast):
+    assert reference.keys() == fast.keys()
+    for key, value in reference.items():
+        if value is None:
+            assert fast[key] is None, f"{key}: eager None vs fused array"
+            continue
+        np.testing.assert_array_equal(value, fast[key], err_msg=key)
+
+
+register(OraclePair(
+    name="nn.fused_vs_eager",
+    reference=lambda **case: _fused_run(False, **case),
+    fast=lambda **case: _fused_run(True, **case),
+    strategy=Strategy(
+        "fused",
+        lambda rng: {"seed": int(rng.integers(0, 2**31)),
+                     "batch": int(rng.integers(1, 3)),
+                     "frames": int(rng.integers(1, 4)),
+                     "grad": int(rng.integers(0, 2))},
+        {"batch": shrink_int(1), "frames": shrink_int(1)},
+    ),
+    compare=_fused_compare,
+    cases=3,
+    description="trace-and-fuse replay is bit-identical to eager "
+                "(outputs and gradients, replay pass included)",
+    guards=("REPRO_NN_FUSE",),
+))
+
+
 register(OraclePair(
     name="ndcg.scalar_vs_many",
     reference=lambda seed, num_lists, length, universe: [

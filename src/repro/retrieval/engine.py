@@ -42,6 +42,8 @@ class RetrievalEngine:
                                       resilience=resilience,
                                       index_tier=index_tier)
         self.embedding_cache = EmbeddingCache(cache_size)
+        #: None = follow the global REPRO_NN_FUSE switch.
+        self._fuse: bool | None = None
 
     def configure_resilience(self, resilience: ResilienceConfig | None) -> None:
         """Install (or clear) a resilience config on the gallery.
@@ -56,6 +58,32 @@ class RetrievalEngine:
         """Switch the gallery's per-node index tier (see
         :mod:`repro.hashindex.tiers`); stored rows are re-ingested."""
         self.gallery.set_index_tier(tier)
+
+    def configure_fuse(self, fuse: bool | None) -> None:
+        """Force trace-and-fuse query embedding on/off for this engine.
+
+        ``None`` reverts to the global ``REPRO_NN_FUSE`` switch
+        (:func:`repro.nn.jit.enabled`).  Replay is bit-identical to
+        eager, so flipping this never changes retrieval results.
+        """
+        self._fuse = None if fuse is None else bool(fuse)
+
+    def _fuse_effective(self) -> bool:
+        """Resolve the fuse switch for the next embedding batch.
+
+        An installed :class:`~repro.resilience.FaultPlan` forces eager:
+        fault-injection runs audit the exact op-by-op execution, and the
+        suppression is surfaced on the ``nn.jit.fallbacks`` counter.
+        """
+        from repro.nn import jit
+
+        fuse = jit.enabled() if self._fuse is None else self._fuse
+        if fuse and getattr(self.gallery, "fault_plan", None) is not None:
+            from repro.obs import counter
+
+            counter("nn.jit.fallbacks", reason="fault_plan").inc()
+            return False
+        return fuse
 
     @property
     def index_tier(self) -> str:
@@ -73,8 +101,10 @@ class RetrievalEngine:
         """Embed videos through the cache; misses share one forward batch."""
         if not videos:
             return np.zeros((0, self.extractor.feature_dim))
+        fuse = self._fuse_effective()
         if not self.embedding_cache.enabled:
-            return self.extractor.embed_videos(videos, batch_size=batch_size)
+            return self.extractor.embed_videos(videos, batch_size=batch_size,
+                                               fuse=fuse)
         keys = [content_key(video.pixels) for video in videos]
         features: list[np.ndarray | None] = [
             self.embedding_cache.get(key) for key in keys
@@ -82,7 +112,8 @@ class RetrievalEngine:
         miss_rows = [i for i, feature in enumerate(features) if feature is None]
         if miss_rows:
             fresh = self.extractor.embed_videos(
-                [videos[i] for i in miss_rows], batch_size=batch_size)
+                [videos[i] for i in miss_rows], batch_size=batch_size,
+                fuse=fuse)
             for row, feature in zip(miss_rows, fresh):
                 self.embedding_cache.put(keys[row], feature)
                 features[row] = feature

@@ -127,6 +127,8 @@ class RetrievalService:
             engine.configure_resilience(resilience)
         if config.index_tier is not None:
             engine.configure_index_tier(config.index_tier)
+        if config.fuse is not None:
+            engine.configure_fuse(config.fuse)
         return cls(engine, config=config)
 
     # Legacy attribute surface (kept so existing call sites and tests

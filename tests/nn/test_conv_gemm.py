@@ -163,4 +163,29 @@ class TestPlanCache:
         F.conv2d(x, w)
         clear_plan_cache()
         info = plan_cache_info()
-        assert info == {"size": 0, "hits": 0, "misses": 0, "scratch_bytes": 0}
+        assert info == {"size": 0, "hits": 0, "misses": 0,
+                        "scratch_bytes": 0, "cap": 64}
+
+    def test_lru_cap_evicts_oldest_plans(self, rng, monkeypatch):
+        from repro.obs import counter
+        from repro.perf import plan_cache_cap
+
+        monkeypatch.setenv("REPRO_PLAN_CACHE_CAP", "2")
+        assert plan_cache_cap() == 2
+        set_conv_impl("gemm")
+        evictions = counter("perf.plan_cache.evictions")
+        before = evictions.value
+        w = Tensor(rng.normal(size=(4, 3, 3, 3)))
+        for size in (8, 10, 12, 14):
+            F.conv2d(Tensor(rng.normal(size=(1, 3, size, size))), w)
+        info = plan_cache_info()
+        assert info["size"] <= 2
+        assert info["cap"] == 2
+        assert evictions.value - before == 2
+
+    def test_cap_must_be_positive(self, monkeypatch):
+        from repro.perf import plan_cache_cap
+
+        monkeypatch.setenv("REPRO_PLAN_CACHE_CAP", "0")
+        with pytest.raises(ValueError):
+            plan_cache_cap()

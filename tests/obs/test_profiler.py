@@ -87,3 +87,29 @@ class TestOpProfiler:
                 _ = Tensor(np.ones((2, 2))) + Tensor(np.ones((2, 2)))
         assert prof.ops["add"]["count"] == 1
         assert prof.backward == {}
+
+    def test_disabled_path_overhead_below_two_percent(self):
+        """The un-profiled hook check must stay noise-level per op.
+
+        The disabled path is one module-global read compared against
+        ``None`` inside ``Tensor._make``.  Time that exact check and pin
+        it below 2% of the cheapest real op the hook guards (a small
+        eager add), so the hook points can never quietly grow into a
+        per-op tax.
+        """
+        import timeit
+
+        assert nn_tensor.get_autograd_hooks() == (None, None)
+        env = {
+            "tensor": nn_tensor,
+            "a": Tensor(np.ones(64)),
+            "b": Tensor(np.ones(64)),
+        }
+        check = timeit.Timer(
+            "tensor._MAKE_HOOK is not None", globals=env)
+        op = timeit.Timer("a + b", globals=env)
+        number = 20_000
+        check_s = min(check.repeat(repeat=5, number=number))
+        op_s = min(op.repeat(repeat=5, number=number))
+        assert check_s / op_s < 0.02, (
+            f"disabled hook check is {check_s / op_s:.1%} of a small add")

@@ -121,6 +121,47 @@ def test_speculative_path_reports_the_same_obs_counter_stream():
     assert sequential_delta == sequential_world.service.query_count
 
 
+def test_jit_replay_preserves_query_instrumentation():
+    """Trace replay sits *below* ``service.query`` — it must never skim
+    queries past a detector spy or the obs counter stream."""
+    queries_counter = counter("retrieval.queries")
+
+    plain = build_world(61)
+    before = queries_counter.value
+    plain_adv, plain_trace, plain_obj = _run_sparse_query(plain,
+                                                          batched=False)
+    plain_delta = queries_counter.value - before
+
+    fused = build_world(61)
+    fused.engine.configure_fuse(True)
+    detector = StatefulQueryDetector()
+    observed = _spy_on(fused.service, detector)
+    before = queries_counter.value
+    fused_adv, fused_trace, fused_obj = _run_sparse_query(fused,
+                                                          batched=None)
+    fused_delta = queries_counter.value - before
+
+    # Replay is bit-identical, so the attack takes the exact same path...
+    np.testing.assert_array_equal(plain_adv.pixels, fused_adv.pixels)
+    assert fused_trace == plain_trace
+    # ...the detector saw every query the fused run issued...
+    assert len(observed) == fused.service.query_count
+    assert fused.service.query_count == plain.service.query_count
+    assert fused_obj.queries == plain_obj.queries
+    # ...and the counter stream is indistinguishable from eager.
+    assert fused_delta == plain_delta
+
+
+def test_jit_fuse_toggle_is_invisible_to_query_results():
+    eager = build_world(67)
+    fused = build_world(67)
+    fused.engine.configure_fuse(True)
+    for video in eager.gallery_videos[:3]:
+        assert_retrieval_lists_equal([eager.service.query(video)],
+                                     [fused.service.query(video)])
+    assert eager.service.query_count == fused.service.query_count
+
+
 def test_detector_flagging_is_path_independent():
     # Near-duplicate probing must accumulate detector hits identically
     # whether queries arrive one at a time or through query_batch.

@@ -9,8 +9,9 @@ for the whole qa subsystem.
 
 import pytest
 
+from repro.nn import tensor as nn_tensor
 from repro.perf import gemm_conv
-from repro.qa.mutation import seeded_conv_fault
+from repro.qa.mutation import seeded_conv_fault, seeded_fused_fault
 from repro.qa.oracle import OracleFailure, get_pair, check_pair
 
 
@@ -52,3 +53,23 @@ def test_fault_restores_on_error():
         with seeded_conv_fault():
             raise RuntimeError("boom")
     assert gemm_conv._conv_forward is original
+
+
+def test_fused_fault_is_caught_then_cleared():
+    """A corrupted fused expression must trip ``nn.fused_vs_eager``."""
+    pair = get_pair("nn.fused_vs_eager")
+    with seeded_fused_fault():
+        with pytest.raises(OracleFailure) as excinfo:
+            check_pair(pair)
+    assert excinfo.value.pair_name == "nn.fused_vs_eager"
+    # Fault lifted and trace caches cleared: the same pair passes again.
+    assert check_pair(pair) == pair.cases
+
+
+def test_fused_fault_restores_kernel_and_clears_caches():
+    original = nn_tensor._ew_add
+    with pytest.raises(RuntimeError, match="boom"):
+        with seeded_fused_fault():
+            assert nn_tensor._ew_add is not original
+            raise RuntimeError("boom")
+    assert nn_tensor._ew_add is original
