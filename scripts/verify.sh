@@ -13,7 +13,10 @@
 #      recall@10 >= 0.9 and the memmap residency ceiling),
 #   8. the trace-and-fuse smoke bench (gates the 1.3x replay floor) and
 #      a second golden-trace pass with REPRO_NN_FUSE=1 (replay must be
-#      byte-identical to the eager goldens).
+#      byte-identical to the eager goldens),
+#   9. the attack strategy grid smoke bench (every registry composition
+#      under budget against the stateful detector + admission control;
+#      writes BENCH_attacks.json).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -59,3 +62,6 @@ echo "== qa golden-trace gate (REPRO_NN_FUSE=1) =="
 REPRO_NN_FUSE=1 python -m repro.qa.regen --check
 
 echo "verify.sh: OK"
+
+echo "== attack strategy grid smoke bench =="
+python benchmarks/bench_attack_grid.py --smoke

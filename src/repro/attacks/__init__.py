@@ -1,7 +1,8 @@
 """Adversarial-example attacks on video retrieval systems.
 
 The package implements the paper's DUO pipeline and the three baselines
-it compares against:
+it compares against, decomposed into pluggable strategy components
+(see :mod:`repro.attacks.strategy` and :mod:`repro.attacks.registry`):
 
 * :class:`~repro.attacks.duo.DUOAttack` — SparseTransfer (Eq. 1 /
   Algorithm 1) + SparseQuery (Eq. 2–4 / Algorithm 2), looped ``iter_numH``
@@ -12,24 +13,60 @@ it compares against:
   invariant dense transfer attack [25].
 * :class:`~repro.attacks.heu.HeuNesAttack` / ``HeuSimAttack`` — heuristic
   frame/pixel selection with NES or SimBA optimization [16].
+
+Every attack is a registered {sampler × basis × feedback} composition:
+
+>>> from repro.attacks import AttackConfig, build_attack
+>>> attack = build_attack(AttackConfig(strategy="vanilla", k=48),
+...                       service=service)
+>>> report = attack.run(original, target)
+
+The legacy classes remain as deprecated shims over their registry
+entries, bit-identical to their pre-redesign behaviour.
 """
 
 from repro.attacks.base import Attack, AttackResult, project_linf, project_l2
+from repro.attacks.config import AttackConfig
 from repro.attacks.objective import RetrievalObjective, UntargetedRetrievalObjective
+from repro.attacks.report import AttackReport
 from repro.attacks.vanilla import VanillaAttack
-from repro.attacks.timi import TIMIAttack
+from repro.attacks.timi import TIMIAttack, timi_transfer
 from repro.attacks.heu import HeuNesAttack, HeuSimAttack, motion_saliency
 from repro.attacks.duo import DUOAttack, SparseTransfer, SparseQuery, TransferPriors
 
+# Registry/strategy exports resolve lazily so `python -m
+# repro.attacks.registry` does not re-import the module it is executing.
+_LAZY_EXPORTS = {
+    "ATTACK_STRATEGIES": "repro.attacks.registry",
+    "build_attack": "repro.attacks.registry",
+    "resolve_strategy": "repro.attacks.registry",
+    "ComposedAttack": "repro.attacks.strategy",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY_EXPORTS[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
+    "ATTACK_STRATEGIES",
     "Attack",
+    "AttackConfig",
+    "AttackReport",
     "AttackResult",
+    "ComposedAttack",
+    "build_attack",
     "project_linf",
     "project_l2",
+    "resolve_strategy",
     "RetrievalObjective",
     "UntargetedRetrievalObjective",
     "VanillaAttack",
     "TIMIAttack",
+    "timi_transfer",
     "HeuNesAttack",
     "HeuSimAttack",
     "motion_saliency",

@@ -2,49 +2,24 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
-from repro.metrics.perturbation import PerturbationStats, perturbation_summary
+from repro.attacks.report import AttackReport
 from repro.video.types import Video
 
-
-@dataclass
-class AttackResult:
-    """Everything an attack run produces.
-
-    Attributes
-    ----------
-    adversarial:
-        The synthesized ``v_adv``.
-    perturbation:
-        ``φ = v_adv − v`` (same shape as the video pixels).
-    queries_used:
-        Black-box queries consumed by the attack (0 for pure transfer).
-    objective_trace:
-        Objective value after each accepted/attempted query iteration —
-        the series plotted in the paper's Figure 5.
-    """
-
-    adversarial: Video
-    perturbation: np.ndarray
-    queries_used: int = 0
-    objective_trace: list[float] = field(default_factory=list)
-    metadata: dict = field(default_factory=dict)
-
-    @property
-    def stats(self) -> PerturbationStats:
-        """Stealthiness metrics (Spa, PScore, frames, ℓ∞) of this AE."""
-        return perturbation_summary(self.perturbation)
+#: Legacy name of :class:`~repro.attacks.report.AttackReport`.  The old
+#: dataclass and the new consolidated report share constructor keywords
+#: (``queries_used`` / ``objective_trace`` still work), so every
+#: pre-redesign call site keeps importing ``AttackResult`` from here.
+AttackResult = AttackReport
 
 
 class Attack:
-    """Base class: an attack maps ``(v, v_t)`` to an :class:`AttackResult`."""
+    """Base class: an attack maps ``(v, v_t)`` to an :class:`AttackReport`."""
 
     name: str = "attack"
 
-    def run(self, original: Video, target: Video) -> AttackResult:
+    def run(self, original: Video, target: Video) -> AttackReport:
         raise NotImplementedError
 
     def __repr__(self) -> str:

@@ -6,18 +6,24 @@ samples a Cartesian-basis direction ``q`` from the non-zero coordinates of
 step when the retrieval objective ``T`` (Eq. 2) decreases.  Because ``q``
 never leaves the transfer support, the rectified perturbation stays
 exactly as sparse as the priors.
+
+Since the strategy redesign this class is a thin shim: the loop lives in
+:func:`repro.attacks.search.simba_search` (the ``SimbaFeedback``
+component), invoked with this class's historical metric prefix
+(``attack.duo.query``) and checkpoint tag (``sparse_query``), so the
+observable behaviour — rng stream, trace, query accounting, obs names,
+checkpoint files — is bit-identical to the pre-shim implementation.
+Prefer composing via ``repro.attacks.registry`` (strategy ``"duo"`` or
+``"duo-query"``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.base import clip_video_range, project_linf
+from repro.attacks.base import clip_video_range
 from repro.attacks.duo.priors import TransferPriors
 from repro.attacks.objective import RetrievalObjective
-from repro.errors import RetrievalUnavailable
-from repro.obs import counter, gauge, span
-from repro.resilience.checkpoint import CheckpointSession
 from repro.utils.logging import get_logger
 from repro.utils.seeding import seeded_rng
 from repro.video.types import Video
@@ -90,121 +96,24 @@ class SparseQuery:
         trace, perturbation, and query counts match an uninterrupted
         run.  The checkpoint file is deleted on successful completion.
         """
-        base = original.pixels
-        perturbation = clip_video_range(base, priors.perturbation())
-        support = np.flatnonzero(priors.support().reshape(-1))
-        if support.size == 0:
+        from repro.attacks.search import simba_search
+
+        # The priors were possibly built under an ℓ2 constraint, where θ
+        # may legitimately exceed τ per coordinate: only *steps* are
+        # ℓ∞-projected, never the initialization (project_initial=False).
+        initial = clip_video_range(original.pixels, priors.perturbation())
+        support = priors.support()
+        if not np.any(support):
             logger.warning("sparse-query called with empty support; no-op")
-            adversarial = original.perturbed(perturbation)
-            return adversarial, []
+            return original.perturbed(initial), []
 
-        from repro.attacks.search import default_block_size
-
-        epsilon = self.epsilon_scale * self.tau
-        block = default_block_size(support.size) if self.block_size is None \
-            else max(1, int(self.block_size))
-
-        session = CheckpointSession(checkpoint_path, "sparse_query",
-                                    objective, self.rng)
-        resumed = session.resume()
-        if resumed is None:
-            current = original.perturbed(perturbation)
-            best_value = objective.value(current)
-            trace = [best_value]
-            # Consume the Cartesian basis without replacement, reshuffling
-            # once a full pass over the support is exhausted.
-            order = self.rng.permutation(support)
-            cursor = 0
-            start_iteration = 0
-        else:
-            perturbation = resumed["perturbation"]
-            best_value = resumed["best_value"]
-            trace = resumed["trace"]
-            order = resumed["order"]
-            cursor = resumed["cursor"]
-            start_iteration = resumed["iteration"]
-            current = original.perturbed(perturbation)
-            logger.info("sparse-query resumed at iteration %d",
-                        start_iteration)
-
-        use_batched = self.batched
-        if use_batched is None:
-            use_batched = bool(getattr(objective, "speculate", None)) and \
-                getattr(objective, "speculation_safe", False)
-
-        with span("attack.duo.query", support=int(support.size), block=block):
-            for iteration in range(start_iteration, self.iter_num_q):
-                session.mark(iteration, perturbation=perturbation,
-                             best_value=best_value, trace=trace,
-                             order=order, cursor=cursor)
-                try:
-                    perturbation, current, best_value, cursor, order = \
-                        self._iterate(original, objective, epsilon, block,
-                                      support, perturbation, current,
-                                      best_value, cursor, order, trace,
-                                      use_batched)
-                except RetrievalUnavailable:
-                    session.persist()
-                    raise
-            gauge("attack.duo.query.objective").set(best_value)
-        session.complete()
-
-        return current, trace
-
-    def _iterate(self, original, objective, epsilon, block, support,
-                 perturbation, current, best_value, cursor, order, trace,
-                 use_batched):
-        """One ±ε coordinate-descent step (extracted for checkpointing)."""
-        base = original.pixels
-        with span("attack.duo.query.iter"):
-            if cursor + block > order.size:
-                order = self.rng.permutation(support)
-                cursor = 0
-            chosen = order[cursor : cursor + block]
-            cursor += block
-            signs = self.rng.choice((-1.0, 1.0), size=chosen.size)
-
-            # Build both ±ε candidates up front (construction
-            # consumes no rng, so the stream is unchanged).
-            pair = []
-            for flip in (+1.0, -1.0):
-                candidate = perturbation.copy()
-                candidate.reshape(-1)[chosen] += flip * signs * epsilon
-                candidate = project_linf(candidate, self.tau)
-                candidate = clip_video_range(base, candidate)
-                if np.array_equal(candidate, perturbation):
-                    pair.append(None)  # projection undid the step
-                else:
-                    pair.append(
-                        (candidate, original.perturbed(candidate)))
-            live = [entry for entry in pair if entry is not None]
-
-            # Speculatively evaluate the pair in one forward batch,
-            # then commit sequentially: only consumed evaluations
-            # touch the query counter and trace, so accept
-            # semantics match the unbatched loop exactly.
-            speculated = objective.speculate(
-                [adversarial for _, adversarial in live]
-            ) if use_batched and len(live) > 1 else None
-            spec_index = 0
-            for entry in pair:
-                if entry is None:
-                    continue  # skipped candidates cost no query
-                candidate, adversarial = entry
-                if speculated is None:
-                    value = objective.value(adversarial)
-                else:
-                    value = objective.commit(speculated[spec_index])
-                spec_index += 1
-                trace.append(value)
-                counter("attack.duo.query.evaluations").inc()
-                accept = value < best_value or (
-                    self.tie_rule == "move" and value <= best_value
-                )
-                if accept:
-                    counter("attack.duo.query.accepted").inc()
-                    best_value = value
-                    perturbation = candidate
-                    current = adversarial
-                    break
-        return perturbation, current, best_value, cursor, order
+        report = simba_search(
+            original, objective, support, tau=self.tau,
+            iterations=self.iter_num_q,
+            epsilon=self.epsilon_scale * self.tau, rng=self.rng,
+            initial=initial, tie_rule=self.tie_rule,
+            block_size=self.block_size, batched=self.batched,
+            checkpoint_path=checkpoint_path,
+            metric_prefix="attack.duo.query",
+            checkpoint_algo="sparse_query", project_initial=False)
+        return report.adversarial, report.trace

@@ -12,16 +12,20 @@ a query-based optimizer:
 The saliency heuristic is motion energy: frames are ranked by how much
 they differ from their neighbours, and pixels by their temporal
 variation — the "prior knowledge" HEU exploits in lieu of a surrogate.
+
+:func:`saliency_support` is the selection rule (the ``SaliencySampler``
+strategy component); both attack classes are deprecated shims over
+their registry compositions (``"heu-nes"`` / ``"heu-sim"``) and
+reproduce the pre-redesign classes bit-for-bit.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.attacks.base import Attack, AttackResult
-from repro.attacks.objective import RetrievalObjective
-from repro.attacks.search import nes_search, simba_search
-from repro.obs import counter, span
 from repro.retrieval.service import RetrievalService
 from repro.utils.seeding import seeded_rng
 from repro.video.types import Video
@@ -75,7 +79,13 @@ def saliency_support(video: Video, k: int, n: int,
 
 
 class HeuNesAttack(Attack):
-    """Saliency-guided NES query attack (HEU-Nes)."""
+    """Saliency-guided NES query attack (HEU-Nes).
+
+    .. deprecated::
+        Shim over the ``"heu-nes"`` registry composition; use
+        ``build_attack(AttackConfig(strategy="heu-nes", ...),
+        service=...)`` instead.
+    """
 
     name = "heu-nes"
 
@@ -83,6 +93,14 @@ class HeuNesAttack(Attack):
                  tau: float = 30.0, iterations: int = 100, samples: int = 4,
                  sigma: float = 0.05, eta: float = 1.0, rng=None,
                  batched: bool | None = None) -> None:
+        warnings.warn(
+            "HeuNesAttack(service, k, ...) is deprecated; use "
+            "repro.attacks.registry.build_attack(AttackConfig("
+            "strategy='heu-nes', ...), service=...) instead",
+            DeprecationWarning, stacklevel=2)
+        from repro.attacks.config import AttackConfig
+        from repro.attacks.registry import build_attack
+
         self.service = service
         self.k = int(k)
         self.n = int(n)
@@ -93,38 +111,43 @@ class HeuNesAttack(Attack):
         self.eta = float(eta)
         self.batched = batched
         self.rng = seeded_rng(rng)
+        self._composed = build_attack(
+            AttackConfig(strategy="heu-nes", k=self.k, n=self.n,
+                         tau=float(tau), eta=self.eta,
+                         iterations=self.iterations, batched=batched,
+                         feedback={"samples": self.samples,
+                                   "sigma": self.sigma}),
+            service=service, rng=self.rng)
 
     def run(self, original: Video, target: Video) -> AttackResult:
         """Saliency-masked NES attack on the pair ``(v, v_t)``."""
-        counter("attack.runs", attack=self.name).inc()
-        with span("attack.heu-nes", k=self.k, n=self.n):
-            objective = RetrievalObjective(self.service, original, target,
-                                           eta=self.eta)
-            with span("attack.heu.saliency"):
-                support = saliency_support(original, self.k, self.n,
-                                           random_pixels=False, rng=self.rng)
-            adversarial, perturbation, trace = nes_search(
-                original, objective, support, tau=self.tau,
-                iterations=self.iterations, samples=self.samples,
-                sigma=self.sigma, rng=self.rng, batched=self.batched,
-            )
-        return AttackResult(
-            adversarial=adversarial,
-            perturbation=perturbation,
-            queries_used=objective.queries,
-            objective_trace=trace,
-            metadata={"k": self.k, "n": self.n, "tau": self.tau * 255.0},
-        )
+        report = self._composed.run(original, target)
+        report.metadata = {"k": self.k, "n": self.n, "tau": self.tau * 255.0}
+        return report
 
 
 class HeuSimAttack(Attack):
-    """Heuristic frames + random pixels + SimBA (HEU-Sim)."""
+    """Heuristic frames + random pixels + SimBA (HEU-Sim).
+
+    .. deprecated::
+        Shim over the ``"heu-sim"`` registry composition; use
+        ``build_attack(AttackConfig(strategy="heu-sim", ...),
+        service=...)`` instead.
+    """
 
     name = "heu-sim"
 
     def __init__(self, service: RetrievalService, k: int, n: int = 4,
                  tau: float = 30.0, iterations: int = 1000, eta: float = 1.0,
                  rng=None, batched: bool | None = None) -> None:
+        warnings.warn(
+            "HeuSimAttack(service, k, ...) is deprecated; use "
+            "repro.attacks.registry.build_attack(AttackConfig("
+            "strategy='heu-sim', ...), service=...) instead",
+            DeprecationWarning, stacklevel=2)
+        from repro.attacks.config import AttackConfig
+        from repro.attacks.registry import build_attack
+
         self.service = service
         self.k = int(k)
         self.n = int(n)
@@ -133,24 +156,14 @@ class HeuSimAttack(Attack):
         self.eta = float(eta)
         self.batched = batched
         self.rng = seeded_rng(rng)
+        self._composed = build_attack(
+            AttackConfig(strategy="heu-sim", k=self.k, n=self.n,
+                         tau=float(tau), eta=self.eta,
+                         iterations=self.iterations, batched=batched),
+            service=service, rng=self.rng)
 
     def run(self, original: Video, target: Video) -> AttackResult:
         """Saliency-framed, random-pixel SimBA attack on ``(v, v_t)``."""
-        counter("attack.runs", attack=self.name).inc()
-        with span("attack.heu-sim", k=self.k, n=self.n):
-            objective = RetrievalObjective(self.service, original, target,
-                                           eta=self.eta)
-            with span("attack.heu.saliency"):
-                support = saliency_support(original, self.k, self.n,
-                                           random_pixels=True, rng=self.rng)
-            adversarial, perturbation, trace = simba_search(
-                original, objective, support, tau=self.tau,
-                iterations=self.iterations, rng=self.rng, batched=self.batched,
-            )
-        return AttackResult(
-            adversarial=adversarial,
-            perturbation=perturbation,
-            queries_used=objective.queries,
-            objective_trace=trace,
-            metadata={"k": self.k, "n": self.n, "tau": self.tau * 255.0},
-        )
+        report = self._composed.run(original, target)
+        report.metadata = {"k": self.k, "n": self.n, "tau": self.tau * 255.0}
+        return report

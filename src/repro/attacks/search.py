@@ -5,6 +5,16 @@
 * :func:`nes_search` — NES-style gradient estimation with antithetic
   Gaussian probes restricted to a support mask, followed by signed
   descent steps (the optimizer inside HEU-Nes [16]).
+
+Both return an :class:`~repro.attacks.report.AttackReport`; iterating it
+yields the legacy ``(adversarial, perturbation, trace)`` tuple, so the
+pre-redesign unpacking call sites work unchanged.
+
+``metric_prefix`` / ``checkpoint_algo`` let a caller rebrand the obs
+counters, spans, and checkpoint tag — :class:`~repro.attacks.duo.
+sparse_query.SparseQuery` delegates here with its historical
+``attack.duo.query`` names and ``sparse_query`` checkpoint tag, so its
+observable behaviour is bit-identical to the pre-shim implementation.
 """
 
 from __future__ import annotations
@@ -13,6 +23,7 @@ import numpy as np
 
 from repro.attacks.base import clip_video_range, project_linf
 from repro.attacks.objective import RetrievalObjective
+from repro.attacks.report import AttackReport
 from repro.errors import RetrievalUnavailable
 from repro.obs import counter, gauge, span
 from repro.resilience.checkpoint import CheckpointSession
@@ -35,8 +46,10 @@ def simba_search(original: Video, objective: RetrievalObjective,
                  epsilon: float | None = None, rng=None,
                  initial: np.ndarray | None = None, tie_rule: str = "move",
                  block_size: int | None = None, batched: bool | None = None,
-                 checkpoint_path=None
-                 ) -> tuple[Video, np.ndarray, list[float]]:
+                 checkpoint_path=None, *,
+                 metric_prefix: str = "attack.search.simba",
+                 checkpoint_algo: str = "simba",
+                 project_initial: bool = True) -> AttackReport:
     """Greedy ±ε direction descent on ``T`` over the ``support``.
 
     Directions are signed indicator blocks: each iteration consumes
@@ -60,7 +73,9 @@ def simba_search(original: Video, objective: RetrievalObjective,
         only strict decreases.
     block_size:
         Coordinates per direction; ``None`` selects
-        :func:`default_block_size`.
+        :func:`default_block_size` *once per run* — the chosen width is
+        checkpointed, so a resume keeps the original width even if the
+        support passed on resume differs.
     batched:
         Speculatively evaluate each ±ε pair in one forward batch and
         commit only consumed results (``None`` auto-enables when the
@@ -71,19 +86,32 @@ def simba_search(original: Video, objective: RetrievalObjective,
         With a path set, a :class:`~repro.errors.RetrievalUnavailable`
         raised mid-run persists loop state before propagating; calling
         again with the same arguments and path resumes bit-identically.
+    metric_prefix / checkpoint_algo:
+        Names used for obs counters/spans and the checkpoint tag, so a
+        delegating caller keeps its historical observable surface.
+    project_initial:
+        Project the ``initial`` perturbation onto the ℓ∞ ball before
+        searching.  DUO's query stage passes ``False``: under the ℓ2
+        transfer constraint (Table IX) the priors may legitimately
+        exceed ``τ`` per coordinate, and only *steps* are projected.
 
-    Returns ``(adversarial, perturbation, trace)``.
+    Returns an :class:`AttackReport`; unpacks as the legacy
+    ``(adversarial, perturbation, trace)``.
     """
     rng = seeded_rng(rng)
     base = original.pixels
     epsilon = tau if epsilon is None else float(epsilon)
     perturbation = np.zeros_like(base) if initial is None else initial.copy()
-    perturbation = clip_video_range(base, project_linf(perturbation, tau))
+    if project_initial:
+        perturbation = project_linf(perturbation, tau)
+    perturbation = clip_video_range(base, perturbation)
 
     coords = np.flatnonzero(np.asarray(support).reshape(-1))
     if coords.size == 0:
         current = original.perturbed(perturbation)
-        return current, perturbation, [objective.value(current)]
+        trace = [objective.value(current)]
+        return AttackReport(adversarial=current, perturbation=perturbation,
+                            queries=len(trace), trace=trace)
     block = default_block_size(coords.size) if block_size is None else \
         max(1, int(block_size))
 
@@ -91,7 +119,8 @@ def simba_search(original: Video, objective: RetrievalObjective,
         batched = bool(getattr(objective, "speculate", None)) and \
             getattr(objective, "speculation_safe", False)
 
-    session = CheckpointSession(checkpoint_path, "simba", objective, rng)
+    session = CheckpointSession(checkpoint_path, checkpoint_algo, objective,
+                                rng)
     resumed = session.resume()
     if resumed is None:
         current = original.perturbed(perturbation)
@@ -106,15 +135,19 @@ def simba_search(original: Video, objective: RetrievalObjective,
         trace = resumed["trace"]
         order = resumed["order"]
         cursor = resumed["cursor"]
+        # The direction width is derived from the support *once per
+        # run* and checkpointed: resuming with a grown/shrunk support
+        # must not silently change the block width mid-search.
+        block = int(resumed.get("block", block))
         start_iteration = resumed["iteration"]
         current = original.perturbed(perturbation)
 
-    with span("attack.search.simba", support=int(coords.size), block=block):
+    with span(metric_prefix, support=int(coords.size), block=block):
         for iteration in range(start_iteration, int(iterations)):
             session.mark(iteration, perturbation=perturbation, best=best,
-                         trace=trace, order=order, cursor=cursor)
+                         trace=trace, order=order, cursor=cursor, block=block)
             try:
-                with span("attack.search.simba.iter"):
+                with span(f"{metric_prefix}.iter"):
                     if cursor + block > order.size:
                         order = rng.permutation(coords)
                         cursor = 0
@@ -149,10 +182,10 @@ def simba_search(original: Video, objective: RetrievalObjective,
                             value = objective.commit(speculated[spec_index])
                         spec_index += 1
                         trace.append(value)
-                        counter("attack.search.simba.evaluations").inc()
+                        counter(f"{metric_prefix}.evaluations").inc()
                         if value < best or \
                                 (tie_rule == "move" and value <= best):
-                            counter("attack.search.simba.accepted").inc()
+                            counter(f"{metric_prefix}.accepted").inc()
                             best = value
                             perturbation = candidate
                             current = adversarial
@@ -160,17 +193,19 @@ def simba_search(original: Video, objective: RetrievalObjective,
             except RetrievalUnavailable:
                 session.persist()
                 raise
-        gauge("attack.search.simba.objective").set(best)
+        gauge(f"{metric_prefix}.objective").set(best)
     session.complete()
-    return current, perturbation, trace
+    return AttackReport(adversarial=current, perturbation=perturbation,
+                        queries=len(trace), trace=trace)
 
 
 def nes_search(original: Video, objective: RetrievalObjective,
                support: np.ndarray, tau: float, iterations: int,
                samples: int = 4, sigma: float = 0.05, lr: float | None = None,
                rng=None, initial: np.ndarray | None = None,
-               batched: bool | None = None, checkpoint_path=None
-               ) -> tuple[Video, np.ndarray, list[float]]:
+               batched: bool | None = None, checkpoint_path=None, *,
+               metric_prefix: str = "attack.search.nes",
+               checkpoint_algo: str = "nes") -> AttackReport:
     """NES gradient-estimation descent on ``T`` over ``support``.
 
     Each iteration draws ``samples`` antithetic Gaussian probes (costing
@@ -187,6 +222,9 @@ def nes_search(original: Video, objective: RetrievalObjective,
     :class:`~repro.errors.RetrievalUnavailable` raised mid-run persists
     loop state before propagating; calling again with the same arguments
     and path resumes bit-identically.
+
+    Returns an :class:`AttackReport`; unpacks as the legacy
+    ``(adversarial, perturbation, trace)``.
     """
     rng = seeded_rng(rng)
     base = original.pixels
@@ -198,7 +236,8 @@ def nes_search(original: Video, objective: RetrievalObjective,
     if batched is None:
         batched = getattr(objective, "values", None) is not None
 
-    session = CheckpointSession(checkpoint_path, "nes", objective, rng)
+    session = CheckpointSession(checkpoint_path, checkpoint_algo, objective,
+                                rng)
     resumed = session.resume()
     if resumed is None:
         current = original.perturbed(perturbation)
@@ -214,12 +253,12 @@ def nes_search(original: Video, objective: RetrievalObjective,
         start_iteration = resumed["iteration"]
         current = original.perturbed(perturbation)
 
-    with span("attack.search.nes", samples=int(samples)):
+    with span(metric_prefix, samples=int(samples)):
         for iteration in range(start_iteration, int(iterations)):
             session.mark(iteration, perturbation=perturbation, best=best,
                          best_perturbation=best_perturbation, trace=trace)
             try:
-                with span("attack.search.nes.iter"):
+                with span(f"{metric_prefix}.iter"):
                     gradient = np.zeros_like(perturbation)
                     # Draw every probe before evaluating anything:
                     # evaluation consumes no rng, so the stream matches
@@ -242,7 +281,7 @@ def nes_search(original: Video, objective: RetrievalObjective,
                     else:
                         values = [objective.value(v) for v in antithetic]
                     trace.extend(values)
-                    counter("attack.search.nes.evaluations").inc(
+                    counter(f"{metric_prefix}.evaluations").inc(
                         2 * int(samples))
                     for index, probe in enumerate(probes):
                         value_plus = values[2 * index]
@@ -256,15 +295,17 @@ def nes_search(original: Video, objective: RetrievalObjective,
                     current = original.perturbed(perturbation)
                     value = objective.value(current)
                     trace.append(value)
-                    counter("attack.search.nes.evaluations").inc()
+                    counter(f"{metric_prefix}.evaluations").inc()
                     if value < best:
-                        counter("attack.search.nes.improved").inc()
+                        counter(f"{metric_prefix}.improved").inc()
                         best = value
                         best_perturbation = perturbation.copy()
             except RetrievalUnavailable:
                 session.persist()
                 raise
-        gauge("attack.search.nes.objective").set(best)
+        gauge(f"{metric_prefix}.objective").set(best)
     session.complete()
 
-    return (original.perturbed(best_perturbation), best_perturbation, trace)
+    return AttackReport(adversarial=original.perturbed(best_perturbation),
+                        perturbation=best_perturbation,
+                        queries=len(trace), trace=trace)

@@ -9,28 +9,112 @@ the surrogate's targeted feature loss, with
 
 As in the paper's evaluation, TIMI perturbs every frame and every pixel
 (``n = 16`` dense), which is why its Spa is ~×100 larger than DUO's.
+
+The loop lives in :func:`timi_transfer` (the ``TransferFeedback``
+strategy component); :class:`TIMIAttack` is a deprecated shim over the
+``"timi"`` registry composition.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 from scipy import ndimage
 
 from repro.attacks.base import Attack, AttackResult, clip_video_range, project_linf
+from repro.attacks.report import AttackReport
 from repro.models.feature_extractor import FeatureExtractor
 from repro.nn import Tensor
-from repro.obs import counter, gauge, span
+from repro.obs import gauge, span
 from repro.video.types import Video
 
 
+def _surrogate_gradient(surrogate: FeatureExtractor, original: Video,
+                        perturbation: np.ndarray,
+                        target_feature: np.ndarray) -> np.ndarray:
+    """∇φ of the targeted feature loss through the surrogate."""
+    phi = Tensor(perturbation, requires_grad=True)
+    adv = (Tensor(original.pixels) + phi).clip(0.0, 1.0)
+    batch = adv.transpose(3, 0, 1, 2).expand_dims(0)
+    feature = surrogate(batch)[0]
+    loss = ((feature - Tensor(target_feature)) ** 2).sum()
+    loss.backward()
+    return phi.grad if phi.grad is not None else np.zeros_like(perturbation)
+
+
+def _smooth_gradient(gradient: np.ndarray, kernel_size: int) -> np.ndarray:
+    """Translation-invariant smoothing: uniform kernel over (H, W)."""
+    return ndimage.uniform_filter(
+        gradient, size=(1, kernel_size, kernel_size, 1), mode="nearest")
+
+
+def timi_transfer(surrogate: FeatureExtractor, original: Video,
+                  target: Video, tau: float, iterations: int = 20,
+                  momentum: float = 1.0,
+                  kernel_size: int = 5) -> AttackReport:
+    """Craft a dense TIMI transfer AE for ``(v, v_t)`` (zero queries).
+
+    ``tau`` is the ℓ∞ budget in [0, 1] pixel units.  Returns an
+    :class:`~repro.attacks.report.AttackReport` with ``queries=0`` and an
+    empty trace (nothing black-box is evaluated).
+    """
+    if kernel_size % 2 == 0:
+        raise ValueError("kernel_size must be odd")
+    tau = float(tau)
+    iterations = int(iterations)
+    surrogate.eval()
+    target_feature = surrogate.embed_videos(target)[0]
+    step = tau / iterations * 2.0
+    perturbation = np.zeros_like(original.pixels)
+    velocity = np.zeros_like(perturbation)
+    l1 = 0.0
+
+    with span("attack.timi", iterations=iterations):
+        for _ in range(iterations):
+            with span("attack.timi.iter"):
+                gradient = _surrogate_gradient(surrogate, original,
+                                               perturbation, target_feature)
+                gradient = _smooth_gradient(gradient, int(kernel_size))
+                l1 = np.abs(gradient).sum()
+                if l1 > 0:
+                    gradient = gradient / l1
+                velocity = float(momentum) * velocity + gradient
+                perturbation = perturbation - step * np.sign(velocity)
+                perturbation = clip_video_range(
+                    original.pixels, project_linf(perturbation, tau))
+        gauge("attack.timi.grad_l1").set(l1)
+
+    adversarial = original.perturbed(perturbation)
+    return AttackReport(
+        adversarial=adversarial,
+        perturbation=adversarial.pixels - original.pixels,
+        queries=0,
+        metadata={"tau": tau * 255.0, "iterations": iterations})
+
+
 class TIMIAttack(Attack):
-    """Dense targeted transfer attack on the surrogate model."""
+    """Dense targeted transfer attack on the surrogate model.
+
+    .. deprecated::
+        Shim over the ``"timi"`` registry composition; use
+        ``build_attack(AttackConfig(strategy="timi", ...),
+        surrogate=...)`` instead.
+    """
 
     name = "timi"
 
     def __init__(self, surrogate: FeatureExtractor, tau: float = 30.0,
                  iterations: int = 20, momentum: float = 1.0,
                  kernel_size: int = 5) -> None:
+        warnings.warn(
+            "TIMIAttack(surrogate, ...) is deprecated; use "
+            "repro.attacks.registry.build_attack(AttackConfig("
+            "strategy='timi', ...), surrogate=...) instead",
+            DeprecationWarning, stacklevel=2)
+        from repro.attacks.config import AttackConfig
+        from repro.attacks.registry import build_attack
+
         self.surrogate = surrogate
         self.tau = float(tau) / 255.0
         self.iterations = int(iterations)
@@ -38,54 +122,17 @@ class TIMIAttack(Attack):
         if kernel_size % 2 == 0:
             raise ValueError("kernel_size must be odd")
         self.kernel_size = int(kernel_size)
-
-    def _gradient(self, original: Video, perturbation: np.ndarray,
-                  target_feature: np.ndarray) -> np.ndarray:
-        phi = Tensor(perturbation, requires_grad=True)
-        adv = (Tensor(original.pixels) + phi).clip(0.0, 1.0)
-        batch = adv.transpose(3, 0, 1, 2).expand_dims(0)
-        feature = self.surrogate(batch)[0]
-        loss = ((feature - Tensor(target_feature)) ** 2).sum()
-        loss.backward()
-        return phi.grad if phi.grad is not None else np.zeros_like(perturbation)
-
-    def _smooth(self, gradient: np.ndarray) -> np.ndarray:
-        """Translation-invariant smoothing: uniform kernel over (H, W)."""
-        return ndimage.uniform_filter(
-            gradient, size=(1, self.kernel_size, self.kernel_size, 1),
-            mode="nearest",
-        )
+        self._composed = build_attack(
+            AttackConfig(strategy="timi", tau=float(tau),
+                         iterations=int(iterations),
+                         feedback={"momentum": float(momentum),
+                                   "kernel_size": int(kernel_size)}),
+            surrogate=surrogate)
 
     def run(self, original: Video, target: Video) -> AttackResult:
         """Craft a dense transfer AE for ``(v, v_t)`` (no queries)."""
-        counter("attack.runs", attack=self.name).inc()
-        self.surrogate.eval()
-        target_feature = self.surrogate.embed_videos(target)[0]
-        step = self.tau / self.iterations * 2.0
-        perturbation = np.zeros_like(original.pixels)
-        velocity = np.zeros_like(perturbation)
-        l1 = 0.0
-
-        with span("attack.timi", iterations=self.iterations):
-            for _ in range(self.iterations):
-                with span("attack.timi.iter"):
-                    gradient = self._gradient(original, perturbation,
-                                              target_feature)
-                    gradient = self._smooth(gradient)
-                    l1 = np.abs(gradient).sum()
-                    if l1 > 0:
-                        gradient = gradient / l1
-                    velocity = self.momentum * velocity + gradient
-                    perturbation = perturbation - step * np.sign(velocity)
-                    perturbation = clip_video_range(
-                        original.pixels, project_linf(perturbation, self.tau)
-                    )
-            gauge("attack.timi.grad_l1").set(l1)
-
-        adversarial = original.perturbed(perturbation)
-        return AttackResult(
-            adversarial=adversarial,
-            perturbation=adversarial.pixels - original.pixels,
-            queries_used=0,
-            metadata={"tau": self.tau * 255.0, "iterations": self.iterations},
-        )
+        report = self._composed.run(original, target)
+        # Legacy metadata shape.
+        report.metadata = {"tau": self.tau * 255.0,
+                           "iterations": self.iterations}
+        return report

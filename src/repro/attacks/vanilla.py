@@ -2,16 +2,20 @@
 
 Paper Section V-B: "It first randomly selects pixels for each frame given
 a fixed Spa.  Then it uses a query-based attack [53] to generate v_adv."
+
+:func:`random_support` is the selection rule (the ``RandomSampler``
+strategy component); :class:`VanillaAttack` is a deprecated shim over
+the ``"vanilla"`` registry composition and reproduces the pre-redesign
+class bit-for-bit.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.attacks.base import Attack, AttackResult
-from repro.attacks.objective import RetrievalObjective
-from repro.attacks.search import simba_search
-from repro.obs import counter, span
 from repro.retrieval.service import RetrievalService
 from repro.utils.seeding import seeded_rng
 from repro.video.types import Video
@@ -41,13 +45,27 @@ def random_support(shape: tuple[int, ...], k: int, n: int,
 
 
 class VanillaAttack(Attack):
-    """Random-selection sparse query attack (the paper's Vanilla)."""
+    """Random-selection sparse query attack (the paper's Vanilla).
+
+    .. deprecated::
+        Shim over the ``"vanilla"`` registry composition; use
+        ``build_attack(AttackConfig(strategy="vanilla", ...),
+        service=...)`` instead.
+    """
 
     name = "vanilla"
 
     def __init__(self, service: RetrievalService, k: int, n: int = 4,
                  tau: float = 30.0, iterations: int = 1000, eta: float = 1.0,
                  rng=None) -> None:
+        warnings.warn(
+            "VanillaAttack(service, k, ...) is deprecated; use "
+            "repro.attacks.registry.build_attack(AttackConfig("
+            "strategy='vanilla', ...), service=...) instead",
+            DeprecationWarning, stacklevel=2)
+        from repro.attacks.config import AttackConfig
+        from repro.attacks.registry import build_attack
+
         self.service = service
         self.k = int(k)
         self.n = int(n)
@@ -55,23 +73,15 @@ class VanillaAttack(Attack):
         self.iterations = int(iterations)
         self.eta = float(eta)
         self.rng = seeded_rng(rng)
+        self._composed = build_attack(
+            AttackConfig(strategy="vanilla", k=self.k, n=self.n,
+                         tau=float(tau), eta=self.eta,
+                         iterations=self.iterations),
+            service=service, rng=self.rng)
 
     def run(self, original: Video, target: Video) -> AttackResult:
         """Random-support SimBA attack on the pair ``(v, v_t)``."""
-        counter("attack.runs", attack=self.name).inc()
-        with span("attack.vanilla", k=self.k, n=self.n):
-            objective = RetrievalObjective(self.service, original, target,
-                                           eta=self.eta)
-            support = random_support(original.pixels.shape, self.k, self.n,
-                                     rng=self.rng)
-            adversarial, perturbation, trace = simba_search(
-                original, objective, support, tau=self.tau,
-                iterations=self.iterations, rng=self.rng,
-            )
-        return AttackResult(
-            adversarial=adversarial,
-            perturbation=perturbation,
-            queries_used=objective.queries,
-            objective_trace=trace,
-            metadata={"k": self.k, "n": self.n, "tau": self.tau * 255.0},
-        )
+        report = self._composed.run(original, target)
+        # Legacy metadata shape.
+        report.metadata = {"k": self.k, "n": self.n, "tau": self.tau * 255.0}
+        return report

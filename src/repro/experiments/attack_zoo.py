@@ -3,6 +3,13 @@
 Centralizes how each named attack of the paper's tables is instantiated
 from an :class:`ExperimentScale`, a victim, and surrogates, so that every
 table compares identically configured attacks.
+
+Since the strategy redesign every row resolves through
+:func:`repro.attacks.registry.build_attack` with an
+:class:`~repro.attacks.config.AttackConfig` — the table runners no
+longer know the legacy per-attack constructors.  The configurations are
+bit-identical to the pre-redesign classes (see the
+``attacks.composed_vs_legacy`` qa oracle).
 """
 
 from __future__ import annotations
@@ -10,10 +17,8 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.attacks.base import Attack
-from repro.attacks.duo import DUOAttack
-from repro.attacks.heu import HeuNesAttack, HeuSimAttack
-from repro.attacks.timi import TIMIAttack
-from repro.attacks.vanilla import VanillaAttack
+from repro.attacks.config import AttackConfig
+from repro.attacks.registry import build_attack
 from repro.experiments.config import ExperimentScale
 from repro.models.feature_extractor import FeatureExtractor
 from repro.training.victim import VictimSystem
@@ -54,51 +59,56 @@ def attack_factory(name: str, victim: VictimSystem,
 
     if name.startswith("duo-"):
         surrogate = surrogates[_surrogate_key(name)]
+        config = AttackConfig(
+            strategy="duo", k=params["k"], n=params["n"], tau=params["tau"],
+            iterations=params["iter_num_q"], rounds=params["iter_num_h"],
+            sampler={"constraint": params["constraint"],
+                     "outer_iters": scale.transfer_outer_iters,
+                     "theta_steps": scale.theta_steps})
 
         def make(pair: int) -> Attack:
-            return DUOAttack(
-                surrogate, victim.service, k=params["k"], n=params["n"],
-                tau=params["tau"], iter_num_q=params["iter_num_q"],
-                iter_num_h=params["iter_num_h"],
-                constraint=params["constraint"],
-                transfer_outer_iters=scale.transfer_outer_iters,
-                theta_steps=scale.theta_steps, rng=rng_for(pair),
-            )
+            return build_attack(config, service=victim.service,
+                                surrogate=surrogate, rng=rng_for(pair))
         return make
 
     if name.startswith("timi-"):
         surrogate = surrogates[_surrogate_key(name)]
+        config = AttackConfig(strategy="timi", tau=params["tau"],
+                              iterations=scale.timi_iterations)
 
         def make(pair: int) -> Attack:
-            return TIMIAttack(surrogate, tau=params["tau"],
-                              iterations=scale.timi_iterations)
+            return build_attack(config, surrogate=surrogate)
         return make
 
     if name == "vanilla":
+        config = AttackConfig(strategy="vanilla", k=params["k"],
+                              n=params["n"], tau=params["tau"],
+                              iterations=scale.query_iterations)
+
         def make(pair: int) -> Attack:
-            return VanillaAttack(
-                victim.service, k=params["k"], n=params["n"],
-                tau=params["tau"], iterations=scale.query_iterations,
-                rng=rng_for(pair),
-            )
+            return build_attack(config, service=victim.service,
+                                rng=rng_for(pair))
         return make
 
     if name == "heu-nes":
+        config = AttackConfig(strategy="heu-nes", k=params["k"],
+                              n=params["n"], tau=params["tau"],
+                              iterations=scale.nes_iterations,
+                              feedback={"samples": scale.nes_samples})
+
         def make(pair: int) -> Attack:
-            return HeuNesAttack(
-                victim.service, k=params["k"], n=params["n"],
-                tau=params["tau"], iterations=scale.nes_iterations,
-                samples=scale.nes_samples, rng=rng_for(pair),
-            )
+            return build_attack(config, service=victim.service,
+                                rng=rng_for(pair))
         return make
 
     if name == "heu-sim":
+        config = AttackConfig(strategy="heu-sim", k=params["k"],
+                              n=params["n"], tau=params["tau"],
+                              iterations=scale.query_iterations)
+
         def make(pair: int) -> Attack:
-            return HeuSimAttack(
-                victim.service, k=params["k"], n=params["n"],
-                tau=params["tau"], iterations=scale.query_iterations,
-                rng=rng_for(pair),
-            )
+            return build_attack(config, service=victim.service,
+                                rng=rng_for(pair))
         return make
 
     raise KeyError(f"unknown attack {name!r}; known: {ATTACK_ROWS}")

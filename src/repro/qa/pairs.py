@@ -42,7 +42,7 @@ from repro.qa.generators import (
     shrink_int,
 )
 from repro.qa.oracle import OraclePair, register
-from repro.qa.world import build_world
+from repro.qa.world import build_world, tiny_extractor
 from repro.resilience.config import ResilienceConfig
 from repro.retrieval.ann import IVFIndex
 from repro.retrieval.index import FeatureIndex
@@ -657,4 +657,122 @@ register(OraclePair(
     compare=_exact_compare,
     cases=8,
     description="ndcg_similarity_many is bit-identical to scalar calls",
+))
+
+
+# ---------------------------------------------------------------------- #
+# composed strategies vs legacy attack implementations
+# ---------------------------------------------------------------------- #
+#: Legacy attacks re-expressed as registry compositions; the reference
+#: side runs the pre-redesign *code path* (the monolithic recipe — raw
+#: support function + search primitive, or the untouched DUOAttack
+#: pipeline), not the shim classes, so the contract is non-vacuous.
+_LEGACY_STRATEGIES = ("vanilla", "heu-sim", "heu-nes", "duo", "timi")
+
+
+def _attack_digests(service, adversarial, trace, queries) -> dict:
+    return {
+        "perturbation_digest": array_digest(adversarial.pixels),
+        "trace": [float(value) for value in trace],
+        "queries": int(queries),
+        "service_queries": int(service.query_count),
+    }
+
+
+def _legacy_attack_run(name: str, seed: int, iters: int) -> dict:
+    """The monolithic pre-redesign recipe for each legacy attack."""
+    world = build_world(seed, cache_size=0)
+    rng = np.random.default_rng(seed + 17)
+    if name == "duo":
+        from repro.attacks.duo import DUOAttack
+
+        attack = DUOAttack(tiny_extractor(seed + 23), world.service, k=48,
+                           n=2, tau=30.0, iter_num_q=iters, iter_num_h=2,
+                           transfer_outer_iters=1, theta_steps=3, rng=rng)
+        result = attack.run(world.original, world.target)
+        return _attack_digests(world.service, result.adversarial,
+                               result.objective_trace, result.queries_used)
+    if name == "timi":
+        from repro.attacks.timi import timi_transfer
+
+        report = timi_transfer(tiny_extractor(seed + 23), world.original,
+                               world.target, tau=30 / 255.0,
+                               iterations=iters)
+        return _attack_digests(world.service, report.adversarial,
+                               report.trace, report.queries)
+
+    from repro.attacks.search import nes_search, simba_search
+
+    objective = RetrievalObjective(world.service, world.original,
+                                   world.target)
+    if name == "vanilla":
+        from repro.attacks.vanilla import random_support
+
+        support = random_support(world.original.pixels.shape, 48, 2, rng=rng)
+        report = simba_search(world.original, objective, support,
+                              tau=30 / 255.0, iterations=iters, rng=rng)
+    elif name == "heu-sim":
+        from repro.attacks.heu import saliency_support
+
+        support = saliency_support(world.original, 48, 2, random_pixels=True,
+                                   rng=rng)
+        report = simba_search(world.original, objective, support,
+                              tau=30 / 255.0, iterations=iters, rng=rng)
+    else:  # heu-nes
+        from repro.attacks.heu import saliency_support
+
+        support = saliency_support(world.original, 48, 2, rng=rng)
+        report = nes_search(world.original, objective, support,
+                            tau=30 / 255.0, iterations=iters, samples=2,
+                            rng=rng)
+    return _attack_digests(world.service, report.adversarial, report.trace,
+                           objective.queries)
+
+
+def _composed_attack_run(name: str, seed: int, iters: int) -> dict:
+    """The same attack through the registry and the ComposedAttack driver."""
+    from repro.attacks.config import AttackConfig
+    from repro.attacks.registry import build_attack
+
+    world = build_world(seed, cache_size=0)
+    rng = np.random.default_rng(seed + 17)
+    surrogate = tiny_extractor(seed + 23) if name in ("duo", "timi") \
+        else None
+    if name == "duo":
+        config = AttackConfig(strategy="duo", k=48, n=2, tau=30.0,
+                              iterations=iters, rounds=2,
+                              sampler={"outer_iters": 1, "theta_steps": 3})
+    elif name == "timi":
+        config = AttackConfig(strategy="timi", tau=30.0, iterations=iters)
+    elif name == "heu-nes":
+        config = AttackConfig(strategy="heu-nes", k=48, n=2, tau=30.0,
+                              iterations=iters, feedback={"samples": 2})
+    else:
+        config = AttackConfig(strategy=name, k=48, n=2, tau=30.0,
+                              iterations=iters)
+    attack = build_attack(config,
+                          service=None if name == "timi" else world.service,
+                          surrogate=surrogate, rng=rng)
+    report = attack.run(world.original, world.target)
+    return _attack_digests(world.service, report.adversarial, report.trace,
+                           report.queries)
+
+
+register(OraclePair(
+    name="attacks.composed_vs_legacy",
+    reference=_legacy_attack_run,
+    fast=_composed_attack_run,
+    strategy=Strategy(
+        "composed_attack",
+        lambda rng: {
+            "name": str(rng.choice(_LEGACY_STRATEGIES)),
+            "seed": int(rng.integers(0, 500)),
+            "iters": int(rng.integers(2, 6)),
+        },
+        {"iters": shrink_int(2)},
+    ),
+    compare=_exact_compare,
+    cases=5,
+    description="every legacy attack re-expressed as a registry "
+                "composition is bit-identical (trace, queries, pixels)",
 ))

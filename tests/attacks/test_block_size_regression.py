@@ -1,0 +1,101 @@
+"""Regression: the SimBA direction width survives checkpoint/resume.
+
+``simba_search`` derives its direction width from ``√|support|`` when
+``block_size`` is not given.  Before the fix the width was re-derived on
+*every* (re)start from whatever support the resuming caller passed, so
+a crash-resume cycle in which the support had been regrown (DUO reruns
+its transfer stage after a restart; an RL sampler redraws frames) would
+silently continue the search with a different block width — different
+rng consumption, different probes, a drifted trace.  The width is now
+checkpointed with the rest of the search state and restored on resume.
+"""
+
+import numpy as np
+
+from repro.attacks.objective import RetrievalObjective
+from repro.attacks.search import default_block_size, simba_search
+from repro.errors import RetrievalUnavailable
+from repro.resilience import FaultPlan, ResilienceConfig
+from repro.resilience.checkpoint import load_checkpoint
+
+from tests.resilience.conftest import build_service, make_videos
+
+
+def _supports(shape, small=64, extra=192):
+    """A support and a strict superset with a different √-derived width."""
+    rng = np.random.default_rng(5)
+    flat = rng.choice(int(np.prod(shape)), size=small + extra, replace=False)
+    grown = np.zeros(shape, dtype=bool)
+    grown.reshape(-1)[flat] = True
+    original = np.zeros(shape, dtype=bool)
+    original.reshape(-1)[flat[:small]] = True
+    assert default_block_size(small) != default_block_size(small + extra)
+    return original, grown
+
+
+def _twin_setup():
+    resilience = ResilienceConfig(replication=1, retry=None, breaker=None,
+                                  on_data_loss="raise")
+    original, target = make_videos(2, seed=99)
+    services = {label: build_service(num_nodes=2, resilience=resilience)
+                for label in ("clean", "faulted")}
+    objectives = {label: RetrievalObjective(service, original, target)
+                  for label, service in services.items()}
+    return original, services, objectives
+
+
+class TestBlockWidthCheckpointed:
+    def test_checkpoint_payload_records_the_block(self, tmp_path):
+        original, services, objectives = _twin_setup()
+        support, _ = _supports(original.pixels.shape)
+        path = tmp_path / "simba.pkl"
+        plan = FaultPlan(seed=1).outage("node-0", 4, 20)
+        with plan.install(services["faulted"].engine.gallery):
+            try:
+                simba_search(original, objectives["faulted"], support,
+                             tau=0.1, iterations=6, rng=0,
+                             checkpoint_path=path)
+            except RetrievalUnavailable:
+                pass
+        checkpoint = load_checkpoint(path)
+        assert checkpoint is not None
+        assert checkpoint.payload["block"] == default_block_size(64)
+
+    def test_resume_with_grown_support_keeps_the_width(self, tmp_path):
+        """Pre-fix this drifts: the resumed run re-derived the width
+        from the grown support and consumed rng/coordinates at a
+        different granularity than the interrupted run."""
+        original, services, objectives = _twin_setup()
+        support, grown = _supports(original.pixels.shape)
+        path = tmp_path / "simba.pkl"
+
+        # 6 iterations × block 8 = 48 < 64 coordinates: the clean run
+        # never re-permutes, so the only resume-visible difference a
+        # grown support *may* introduce is the block width itself.
+        clean = simba_search(original, objectives["clean"], support,
+                             tau=0.1, iterations=6, rng=0)
+
+        plan = FaultPlan(seed=1).outage("node-0", 4, 8)
+        failures = 0
+        with plan.install(services["faulted"].engine.gallery):
+            current_support = support
+            while True:
+                try:
+                    resumed = simba_search(
+                        original, objectives["faulted"], current_support,
+                        tau=0.1, iterations=6, rng=0, checkpoint_path=path)
+                    break
+                except RetrievalUnavailable:
+                    failures += 1
+                    assert failures < 50
+                    # The caller regrows its support before retrying.
+                    current_support = grown
+
+        assert failures >= 1, "the outage never interrupted the attack"
+        assert resumed.trace == clean.trace
+        np.testing.assert_array_equal(resumed.perturbation,
+                                      clean.perturbation)
+        np.testing.assert_array_equal(resumed.adversarial.pixels,
+                                      clean.adversarial.pixels)
+        assert services["faulted"].query_count == \
+            services["clean"].query_count

@@ -76,9 +76,10 @@ class TestAttackZoo:
                                  QUICK_SCALE, k=40, n=2, tau=50.0,
                                  iter_num_h=3)
         attack = factory(0)
-        assert attack.transfer.n == 2
-        assert attack.transfer.tau == pytest.approx(50.0 / 255.0)
-        assert attack.iter_num_h == 3
+        assert attack.config.n == 2
+        assert attack.config.tau == pytest.approx(50.0)
+        assert attack.config.tau_unit() == pytest.approx(50.0 / 255.0)
+        assert attack.config.rounds == 3
 
     def test_factories_vary_rng_per_pair(self, tiny_victim, surrogates,
                                          attack_pair, tiny_dataset):
