@@ -15,10 +15,22 @@ Three measurements:
 3. **determinism** — the same timeline replayed twice must produce
    identical statuses, per-tenant counts, and virtual makespan.
 
+With ``--churn`` two scale-out measurements join the set:
+
+4. **worker scaling** — the same 2x-load timeline across 1/2/4 pool
+   workers; virtual throughput must grow >= 1.5x from one worker to
+   four while serving identical work (the per-worker virtual clocks
+   make this deterministic).
+5. **churn equivalence** — a mutating timeline (interleaved
+   add/delete/re-embed events) through the pooled front end vs the
+   sequential reference replay: statuses, tenant counts, the query
+   ledger, and applied-event counts must match exactly.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_serving.py           # full
-    PYTHONPATH=src python benchmarks/bench_serving.py --smoke   # CI
+    PYTHONPATH=src python benchmarks/bench_serving.py                   # full
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke           # CI
+    PYTHONPATH=src python benchmarks/bench_serving.py --churn --smoke   # CI
 
 The full run records ``BENCH_serving.json`` at the repo root and gates
 the batched speedup at 2x.  ``--smoke`` shrinks the workload and relaxes
@@ -43,7 +55,9 @@ from repro.serving import (  # noqa: E402
     ServingFrontend,
     TenantPolicy,
     TenantSpec,
+    generate_churn,
     generate_timeline,
+    replay_sequential_mutating,
 )
 
 #: The virtual service-cost model shared by every measurement.
@@ -158,6 +172,84 @@ def bench_determinism(per_tenant: int, seed: int = 19) -> dict:
     }
 
 
+def bench_worker_scaling(per_tenant: int, seed: int = 23) -> dict:
+    """Virtual throughput vs worker count at 2x offered load.
+
+    The pool's scheduling is all virtual-time, so this measurement is
+    deterministic: W workers drain a saturating timeline in ~1/W the
+    virtual makespan while serving the identical work.  The acceptance
+    gate is the pooled-vs-single ratio at the sweep's top.
+    """
+    timeline = make_timeline(seed, CAPACITY_QPS * 2.0, per_tenant)
+    points = []
+    for workers in (1, 2, 4):
+        world = build_world(41)
+        config = BASE_CONFIG.with_(queue_capacity=4096, workers=workers)
+        report = ServingFrontend(world.service, config).run(timeline)
+        points.append({
+            "workers": workers,
+            "served": report.served,
+            "makespan_s": report.makespan_s,
+            "throughput_qps": report.throughput_qps,
+            "p99_latency_s": report.latency_percentile(99),
+        })
+    single, pooled = points[0], points[-1]
+    return {
+        "offered_multiplier": 2.0,
+        "requests": len(timeline),
+        "points": points,
+        "same_served": len({point["served"] for point in points}) == 1,
+        "pooled_speedup": pooled["throughput_qps"]
+        / single["throughput_qps"],
+    }
+
+
+def bench_churn(per_tenant: int, seed: int = 29) -> dict:
+    """Mutating timeline: pooled front end vs the sequential reference.
+
+    One seeded add/delete/re-embed stream is interleaved with the query
+    timeline; both replayers must agree on statuses, tenant counts, the
+    query ledger, and the number of events applied — the oracle
+    contract, measured here at bench scale with throughput attached.
+    """
+    def run(pooled: bool):
+        world = build_world(41)
+        specs = [TenantSpec(f"tenant-{i}", CAPACITY_QPS / 3.0, per_tenant)
+                 for i in range(3)]
+        requests = generate_timeline(seed, specs, world.gallery_videos)
+        horizon = max(request.arrival_s for request in requests)
+        events = generate_churn(
+            seed, [video.video_id for video in world.gallery_videos],
+            adds=per_tenant // 2, deletes=per_tenant // 3,
+            reembeds=per_tenant // 3, horizon_s=horizon)
+        timeline = list(requests) + list(events)
+        config = BASE_CONFIG.with_(queue_capacity=4096, workers=4)
+        if pooled:
+            report = ServingFrontend(world.service, config).run(timeline)
+        else:
+            report = replay_sequential_mutating(timeline, world.service,
+                                                config)
+        ledger = (world.service.query_count, world.service.queries_issued,
+                  world.service.queries_refunded)
+        return report, ledger
+
+    sequential, sequential_ledger = run(pooled=False)
+    pooled, pooled_ledger = run(pooled=True)
+    return {
+        "requests": len(sequential.responses),
+        "events_applied": pooled.gallery_events,
+        "identical_statuses":
+            [r.status for r in sequential.responses]
+            == [r.status for r in pooled.responses],
+        "identical_tenant_counts":
+            sequential.served_by_tenant == pooled.served_by_tenant,
+        "identical_ledger": sequential_ledger == pooled_ledger,
+        "identical_events":
+            sequential.gallery_events == pooled.gallery_events,
+        "pooled_throughput_qps": pooled.throughput_qps,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark the serving front end.")
@@ -170,6 +262,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="CI gate: small workload, 1.5x speedup gate, "
                              "no JSON output")
+    parser.add_argument("--churn", action="store_true",
+                        help="also measure worker-pool scaling and the "
+                             "mutating-timeline (churn) path, gating the "
+                             "pooled virtual speedup at 1.5x")
+    parser.add_argument("--min-pool-speedup", type=float, default=1.5,
+                        help="required pooled-vs-single virtual speedup "
+                             "at 2x load (--churn only)")
     parser.add_argument("--out", default=str(REPO_ROOT /
                                              "BENCH_serving.json"),
                         help="output JSON path (full runs only)")
@@ -195,6 +294,9 @@ def main(argv: list[str] | None = None) -> int:
         "batched_speedup": speedup,
         "determinism": bench_determinism(per_tenant),
     }
+    if args.churn:
+        result["worker_scaling"] = bench_worker_scaling(per_tenant)
+        result["churn"] = bench_churn(max(4, per_tenant // 2))
     print(json.dumps(result, indent=2))
 
     failures = []
@@ -214,6 +316,21 @@ def main(argv: list[str] | None = None) -> int:
                                   / overloaded["requests"]) <= 0.0:
         failures.append("the 2x-capacity point never shed or rejected work "
                         "(backpressure is not engaging)")
+    if args.churn:
+        scaling = result["worker_scaling"]
+        if not scaling["same_served"]:
+            failures.append("worker counts served different work")
+        if scaling["pooled_speedup"] < args.min_pool_speedup:
+            failures.append(
+                f"pooled virtual speedup {scaling['pooled_speedup']:.2f}x "
+                f"at 2x load is under the {args.min_pool_speedup:.1f}x gate")
+        churn = result["churn"]
+        for key in ("identical_statuses", "identical_tenant_counts",
+                    "identical_ledger", "identical_events"):
+            if not churn[key]:
+                failures.append(
+                    f"mutating timeline diverged between the pooled "
+                    f"front end and the sequential reference ({key})")
 
     for failure in failures:
         print(f"[bench_serving] FAIL: {failure}")

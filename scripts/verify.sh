@@ -8,7 +8,10 @@
 #   5. the qa correctness harness: differential oracles, invariant
 #      checks, and the golden-trace regression gate,
 #   6. the serving front-end suite + its smoke bench (gates the 1.5x
-#      batched-throughput floor and timeline determinism),
+#      batched-throughput floor and timeline determinism), the
+#      slow/churn-marked gallery stress tests, and the worker-pool +
+#      churn smoke bench (gates the 1.5x pooled virtual speedup and
+#      sequential-vs-pooled mutating-timeline equality),
 #   7. the compressed index tier suite + the ANN smoke bench (gates
 #      recall@10 >= 0.9 and the memmap residency ceiling),
 #   8. the trace-and-fuse smoke bench (gates the 1.3x replay floor) and
@@ -48,6 +51,12 @@ python -m pytest -x -q tests/serving
 
 echo "== serving smoke bench =="
 python benchmarks/bench_serving.py --smoke
+
+echo "== gallery-churn stress tests (slow/churn markers) =="
+python -m pytest -q -m "churn or slow" tests/serving tests/retrieval
+
+echo "== worker-pool + churn smoke bench =="
+python benchmarks/bench_serving.py --churn --smoke
 
 echo "== compressed index tier tests =="
 python -m pytest -x -q tests/hashindex

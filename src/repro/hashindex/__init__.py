@@ -37,6 +37,7 @@ from repro.hashindex.codes import (
 from repro.hashindex.base import CompressedIndex
 from repro.hashindex.binary import BinaryHashIndex
 from repro.hashindex.ivfpq import IVFPQIndex, ProductQuantizer
+from repro.hashindex.compaction import DEFAULT_COMPACTION, CompactionPolicy
 from repro.hashindex.store import MemmapStore, total_mapped_bytes
 from repro.hashindex.tiers import (
     DEFAULT_TIER,
@@ -48,7 +49,9 @@ from repro.hashindex.tiers import (
 
 __all__ = [
     "BinaryHashIndex",
+    "CompactionPolicy",
     "CompressedIndex",
+    "DEFAULT_COMPACTION",
     "IVFPQIndex",
     "ProductQuantizer",
     "MemmapStore",

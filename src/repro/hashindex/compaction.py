@@ -1,0 +1,43 @@
+"""Compaction policy for mutated index shards.
+
+Deletes and re-embeds tombstone rows logically but leave them in the
+per-node indexes (exact and compressed tiers alike) until a compaction
+rebuilds the shard from live rows only.  :class:`CompactionPolicy`
+decides *when* a shard has accumulated enough garbage to be worth the
+rebuild; the gallery owns the *how* (it re-ingests live rows through
+the current tier factory and swaps the index object atomically, so
+readers pinned to older snapshots keep their old index).
+
+The policy is pure arithmetic over ``(physical_rows, dead_rows)`` so it
+can be evaluated identically by the sequential reference replay and the
+pooled frontend — compaction points must match exactly for the
+mutating-timeline oracle to hold bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """Compact a shard once tombstones pass both thresholds."""
+
+    #: Minimum fraction of physical rows that are dead.
+    min_dead_fraction: float = 0.25
+    #: Minimum absolute number of dead rows (avoids churning tiny shards).
+    min_dead_rows: int = 4
+
+    def should_compact(self, physical_rows: int, dead_rows: int) -> bool:
+        if dead_rows < self.min_dead_rows:
+            return False
+        if physical_rows <= 0:
+            return False
+        return (dead_rows / physical_rows) >= self.min_dead_fraction
+
+
+#: Policy used by the serving frontend when churn is enabled and no
+#: explicit policy is configured.
+DEFAULT_COMPACTION = CompactionPolicy()
+
+__all__ = ["CompactionPolicy", "DEFAULT_COMPACTION"]

@@ -15,12 +15,20 @@ are covered by gradient-check tests in ``tests/nn``.
 from __future__ import annotations
 
 import contextlib
+import threading
 import time
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 _GRAD_ENABLED = True
+
+# no_grad() nesting depth across ALL threads.  Serving worker pools run
+# concurrent inference forwards; a naive save/restore would let one
+# thread's exit re-enable grad mid-forward on another thread.  Grad
+# comes back only when every open no_grad() block has exited.
+_NO_GRAD_DEPTH = 0
+_NO_GRAD_LOCK = threading.Lock()
 
 # Profiling hook points (installed by repro.obs.profiler.OpProfiler).
 # ``_MAKE_HOOK(op, data)`` fires on every op-result tensor construction;
@@ -70,14 +78,23 @@ def get_tracer():
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager disabling graph construction (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager disabling graph construction (inference mode).
+
+    Depth-counted rather than save/restore so concurrent inference
+    threads compose: grad re-enables only when the outermost block (on
+    any thread) exits.  The lock is taken once per block, not per op.
+    """
+    global _GRAD_ENABLED, _NO_GRAD_DEPTH
+    with _NO_GRAD_LOCK:
+        _NO_GRAD_DEPTH += 1
+        _GRAD_ENABLED = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        with _NO_GRAD_LOCK:
+            _NO_GRAD_DEPTH -= 1
+            if _NO_GRAD_DEPTH == 0:
+                _GRAD_ENABLED = True
 
 
 def is_grad_enabled() -> bool:

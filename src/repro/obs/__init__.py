@@ -22,6 +22,7 @@ from repro.obs.metrics import (
     gauge,
     get_registry,
     histogram,
+    thread_safe_metrics,
 )
 from repro.obs.tracing import (
     Tracer,
@@ -58,6 +59,7 @@ __all__ = [
     "metrics_report",
     "obs_dir",
     "span",
+    "thread_safe_metrics",
     "traced",
     "tracing_enabled",
     "use_env_tracing",

@@ -32,6 +32,35 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
 
 LabelKey = tuple[tuple[str, str], ...]
 
+#: Shared write lock, installed only while a worker pool is live (see
+#: :func:`thread_safe_metrics`).  ``None`` — the overwhelmingly common
+#: case — keeps increments a plain float add, so the obs-overhead bench
+#: gates are unaffected when no threads are running.
+_MT_LOCK: threading.Lock | None = None
+_MT_DEPTH = 0
+
+
+class thread_safe_metrics:
+    """Context manager making instrument writes thread-safe while open.
+
+    The serving worker pool wraps its run in this so counter increments
+    from worker threads cannot lose updates; nesting is supported and
+    the lock is removed when the outermost context exits.
+    """
+
+    def __enter__(self) -> None:
+        global _MT_LOCK, _MT_DEPTH
+        _MT_DEPTH += 1
+        if _MT_LOCK is None:
+            _MT_LOCK = threading.Lock()
+
+    def __exit__(self, *exc_info) -> None:
+        global _MT_LOCK, _MT_DEPTH
+        _MT_DEPTH -= 1
+        if _MT_DEPTH <= 0:
+            _MT_DEPTH = 0
+            _MT_LOCK = None
+
 
 def _label_key(labels: dict[str, object]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
@@ -58,7 +87,12 @@ class Counter:
         """Add ``amount`` (must be non-negative) to the count."""
         if amount < 0:
             raise ValueError("counters only go up; use a gauge")
-        self.value += amount
+        lock = _MT_LOCK
+        if lock is None:
+            self.value += amount
+        else:
+            with lock:
+                self.value += amount
 
     def _reset(self) -> None:
         self.value = 0.0
@@ -81,8 +115,14 @@ class Gauge:
         self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        base = 0.0 if math.isnan(self.value) else self.value
-        self.value = base + amount
+        lock = _MT_LOCK
+        if lock is None:
+            base = 0.0 if math.isnan(self.value) else self.value
+            self.value = base + amount
+        else:
+            with lock:
+                base = 0.0 if math.isnan(self.value) else self.value
+                self.value = base + amount
 
     def dec(self, amount: float = 1.0) -> None:
         self.inc(-amount)
@@ -111,7 +151,14 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         """Record one sample."""
-        value = float(value)
+        lock = _MT_LOCK
+        if lock is not None:
+            with lock:
+                self._observe(float(value))
+            return
+        self._observe(float(value))
+
+    def _observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         if value < self.minimum:

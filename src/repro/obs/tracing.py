@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import functools
 import os
+import threading
 import time
 
 TRACE_ENV = "REPRO_TRACE"
@@ -73,9 +74,11 @@ def use_env_tracing() -> None:
 class Tracer:
     """Span collector: record tree + per-name aggregates.
 
-    The span stack is process-local (the repo's hot paths are
-    single-threaded); concurrent tracers can be instantiated explicitly
-    if a future PR parallelizes attack loops.
+    The span stack belongs to the thread that last :meth:`reset` the
+    tracer (normally the main thread).  Spans opened on *other* threads
+    — e.g. serving worker-pool compute — are recorded *detached*: they
+    aggregate and appear as extra roots in the tree, but never touch
+    the owner's stack, so concurrent workers cannot corrupt nesting.
     """
 
     def __init__(self) -> None:
@@ -89,6 +92,7 @@ class Tracer:
         self.num_records = 0
         self.dropped_records = 0
         self._epoch = time.perf_counter()
+        self._owner = threading.get_ident()
 
     # -------------------------------------------------------------- #
     # Recording (driven by _SpanContext)
@@ -101,11 +105,26 @@ class Tracer:
             "args": attrs,
             "children": [],
         }
-        self._stack.append(record)
+        if threading.get_ident() == self._owner:
+            self._stack.append(record)
+        else:
+            record["_detached"] = True
         return record
 
     def _close(self, record: dict, duration: float) -> None:
         record["dur_us"] = duration * 1e6
+        if record.pop("_detached", False):
+            # Worker-thread span: aggregate and file as a root without
+            # touching the owner thread's stack.
+            entry = self.aggregates.setdefault(record["name"], [0, 0.0])
+            entry[0] += 1
+            entry[1] += duration
+            if self.num_records >= MAX_RECORDS:
+                self.dropped_records += 1
+                return
+            self.num_records += 1
+            self.roots.append(record)
+            return
         # Tolerate interleaved/forgotten exits: pop back to this record.
         while self._stack and self._stack[-1] is not record:
             self._stack.pop()

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -64,6 +65,10 @@ class EmbeddingCache:
             raise ValueError(f"cache capacity must be >= 0, got {self.capacity}")
         self.metric_prefix = metric_prefix
         self._entries: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        # Serializes the OrderedDict reorders; µs-scale next to the
+        # hash + forward either side of it, and required once serving
+        # workers embed concurrently.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -77,12 +82,17 @@ class EmbeddingCache:
 
     def get(self, key: bytes) -> np.ndarray | None:
         """Look up a digest; counts a hit or miss either way."""
-        entry = self._entries.get(key) if self.enabled else None
+        if not self.enabled:
+            entry = None
+        else:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
         if entry is None:
             self.misses += 1
             counter(f"{self.metric_prefix}.misses").inc()
             return None
-        self._entries.move_to_end(key)
         self.hits += 1
         counter(f"{self.metric_prefix}.hits").inc()
         return entry
@@ -93,17 +103,23 @@ class EmbeddingCache:
             return
         stored = np.asarray(feature)
         stored.setflags(write=False)
-        self._entries[key] = stored
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            counter(f"{self.metric_prefix}.evictions").inc()
-        gauge(f"{self.metric_prefix}.size").set(len(self._entries))
+        evicted = 0
+        with self._lock:
+            self._entries[key] = stored
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            size = len(self._entries)
+        if evicted:
+            self.evictions += evicted
+            counter(f"{self.metric_prefix}.evictions").inc(evicted)
+        gauge(f"{self.metric_prefix}.size").set(size)
 
     def clear(self) -> None:
         """Drop every entry (e.g. after the extractor's weights change)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
         gauge(f"{self.metric_prefix}.size").set(0)
 
     def stats(self) -> dict:

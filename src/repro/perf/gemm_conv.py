@@ -31,6 +31,7 @@ within ``allclose`` (same dtype, different summation order).
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -101,7 +102,7 @@ class ConvPlan:
     __slots__ = ("x_shape", "w_shape", "stride", "padding", "out_spatial",
                  "cols_shape", "gemm_elems", "positions", "kernel_elems",
                  "padded_shape", "view_strides", "core_slices", "hits",
-                 "_scratch", "_pad_scratch")
+                 "_tls", "scratch_bytes")
 
     def __init__(self, x_shape, w_shape, stride, padding) -> None:
         self.x_shape = x_shape
@@ -135,16 +136,23 @@ class ConvPlan:
         self.core_slices = (slice(None), slice(None)) + tuple(
             slice(p, p + s) for p, s in zip(padding, spatial))
         self.hits = 0
-        self._scratch: np.ndarray | None = None
-        self._pad_scratch: np.ndarray | None = None
+        # Scratch is per *thread*: the serving worker pool (and the
+        # churn stress harness) run inference convs of the same shape
+        # concurrently, and a plan-wide buffer would let one thread's
+        # im2col fill tear another's mid-GEMM.
+        self._tls = threading.local()
+        self.scratch_bytes = 0
 
     def cols_buffer(self, reuse: bool) -> np.ndarray:
         """A ``cols`` buffer; the cached scratch only on inference calls."""
         if not reuse:
             return np.empty(self.cols_shape)
-        if self._scratch is None:
-            self._scratch = np.empty(self.cols_shape)
-        return self._scratch
+        scratch = getattr(self._tls, "cols", None)
+        if scratch is None:
+            scratch = np.empty(self.cols_shape)
+            self._tls.cols = scratch
+            self.scratch_bytes += scratch.nbytes
+        return scratch
 
     def padded_buffer(self) -> np.ndarray:
         """Reusable zero-padded input buffer (inference calls only).
@@ -152,9 +160,12 @@ class ConvPlan:
         The border is zeroed once at allocation; every call overwrites the
         full core, so the zeros never need refreshing.
         """
-        if self._pad_scratch is None:
-            self._pad_scratch = np.zeros(self.padded_shape)
-        return self._pad_scratch
+        scratch = getattr(self._tls, "padded", None)
+        if scratch is None:
+            scratch = np.zeros(self.padded_shape)
+            self._tls.padded = scratch
+            self.scratch_bytes += scratch.nbytes
+        return scratch
 
 
 #: Default LRU bound shared by this plan cache and the jit trace cache;
@@ -201,10 +212,7 @@ def plan_cache_info() -> dict:
         "cap": plan_cache_cap(),
         "hits": sum(plan.hits for plan in _plans.values()),
         "misses": _plan_misses,
-        "scratch_bytes": sum(
-            plan._scratch.nbytes for plan in _plans.values()
-            if plan._scratch is not None
-        ),
+        "scratch_bytes": sum(plan.scratch_bytes for plan in _plans.values()),
     }
 
 

@@ -24,6 +24,7 @@ from repro.qa.comparators import (
     assert_close,
     assert_retrieval_lists_equal,
 )
+from repro.qa.concurrency import BarrierHarness, HarnessResult
 from repro.qa.generators import Strategy, shrink_int, shrink_to_minimal
 from repro.qa.invariants import (
     NumericalFault,
@@ -31,6 +32,7 @@ from repro.qa.invariants import (
     check_budget_conservation,
     check_cache_coherence,
     check_metric_ranges,
+    check_snapshot_consistency,
     finite_guard,
     install_runtime_guards,
 )
@@ -44,6 +46,8 @@ from repro.qa.oracle import (
 )
 
 __all__ = [
+    "BarrierHarness",
+    "HarnessResult",
     "NumericalFault",
     "OracleFailure",
     "OraclePair",
@@ -57,6 +61,7 @@ __all__ = [
     "check_cache_coherence",
     "check_metric_ranges",
     "check_pair",
+    "check_snapshot_consistency",
     "finite_guard",
     "get_pair",
     "install_runtime_guards",

@@ -1,0 +1,150 @@
+"""Deterministic barrier harness for concurrency stress tests.
+
+Free-running thread tests are the right tool for *finding* races but a
+terrible tool for *pinning* them: a failing interleaving rarely recurs
+on the next run.  :class:`BarrierHarness` gives stress tests both modes
+over the same worker function:
+
+* :meth:`run_stepped` — real OS threads, but a controller grants the
+  next step to exactly one thread at a time, chosen by a seeded rng.
+  The interleaving (and therefore every shared-state observation) is a
+  pure function of the seed, so a failure replays exactly.  Thread
+  identity is real — code that keys on ``threading.get_ident()`` (the
+  tracer's detached spans, lock ownership) is genuinely exercised.
+* :meth:`run_free` — all threads released from a start barrier at once
+  and left to race.  Nondeterministic by design; used by the ``slow``
+  stress tests to hunt for interleavings the stepped schedule missed.
+
+Workers are ``worker(thread_id, step, rng)`` callables; each thread gets
+its own child :class:`numpy.random.Generator` spawned from the harness
+seed, so per-thread decisions are reproducible independent of schedule.
+Return values are collected per ``(thread_id, step)``; the first worker
+exception aborts that thread's remaining steps and is re-raised from
+:meth:`run_stepped`/:meth:`run_free` with its schedule position.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class HarnessResult:
+    """What one harness run observed."""
+
+    #: Thread ids in the order they were granted steps (stepped mode
+    #: only; empty for free-running runs).
+    schedule: list[int] = field(default_factory=list)
+    #: ``(thread_id, step) -> worker return value``.
+    results: dict[tuple[int, int], object] = field(default_factory=dict)
+    #: ``thread_id -> exception`` for threads that died.
+    errors: dict[int, BaseException] = field(default_factory=dict)
+
+    def raise_first(self) -> None:
+        if self.errors:
+            thread_id = min(self.errors)
+            raise self.errors[thread_id]
+
+
+class BarrierHarness:
+    """Run ``threads`` workers for ``steps`` steps each, two ways."""
+
+    def __init__(self, threads: int, steps: int, seed: int = 0) -> None:
+        if threads < 1 or steps < 1:
+            raise ValueError("threads and steps must be >= 1")
+        self.threads = int(threads)
+        self.steps = int(steps)
+        self.seed = int(seed)
+
+    def _spawn_rngs(self) -> list[np.random.Generator]:
+        seeds = np.random.SeedSequence([self.seed, 0xBA22]).spawn(self.threads)
+        return [np.random.default_rng(seq) for seq in seeds]
+
+    # -------------------------------------------------------------- #
+    # Stepped (deterministic) mode
+    # -------------------------------------------------------------- #
+    def run_stepped(self, worker, raise_errors: bool = True) -> HarnessResult:
+        """Serialize steps under a seeded scheduler; replays exactly."""
+        outcome = HarnessResult()
+        rngs = self._spawn_rngs()
+        grants = [threading.Event() for _ in range(self.threads)]
+        done = threading.Event()
+
+        def body(thread_id: int) -> None:
+            for step in range(self.steps):
+                grants[thread_id].wait()
+                grants[thread_id].clear()
+                try:
+                    outcome.results[(thread_id, step)] = \
+                        worker(thread_id, step, rngs[thread_id])
+                except BaseException as exc:  # noqa: BLE001 - re-raised
+                    outcome.errors[thread_id] = exc
+                    done.set()
+                    return
+                done.set()
+
+        workers = [threading.Thread(target=body, args=(thread_id,),
+                                    name=f"qa-harness-{thread_id}",
+                                    daemon=True)
+                   for thread_id in range(self.threads)]
+        for thread in workers:
+            thread.start()
+        scheduler = np.random.default_rng(
+            np.random.SeedSequence([self.seed, 0x5C4D]))
+        remaining = {thread_id: self.steps
+                     for thread_id in range(self.threads)}
+        while remaining:
+            runnable = sorted(remaining)
+            thread_id = runnable[int(scheduler.integers(len(runnable)))]
+            done.clear()
+            grants[thread_id].set()
+            done.wait()
+            outcome.schedule.append(thread_id)
+            if thread_id in outcome.errors:
+                del remaining[thread_id]
+                continue
+            remaining[thread_id] -= 1
+            if not remaining[thread_id]:
+                del remaining[thread_id]
+        for thread in workers:
+            thread.join(timeout=10.0)
+        if raise_errors:
+            outcome.raise_first()
+        return outcome
+
+    # -------------------------------------------------------------- #
+    # Free-running mode
+    # -------------------------------------------------------------- #
+    def run_free(self, worker, raise_errors: bool = True) -> HarnessResult:
+        """Release every thread at once and let the OS interleave."""
+        outcome = HarnessResult()
+        rngs = self._spawn_rngs()
+        start = threading.Barrier(self.threads)
+
+        def body(thread_id: int) -> None:
+            start.wait()
+            for step in range(self.steps):
+                try:
+                    outcome.results[(thread_id, step)] = \
+                        worker(thread_id, step, rngs[thread_id])
+                except BaseException as exc:  # noqa: BLE001 - re-raised
+                    outcome.errors[thread_id] = exc
+                    return
+
+        workers = [threading.Thread(target=body, args=(thread_id,),
+                                    name=f"qa-harness-{thread_id}",
+                                    daemon=True)
+                   for thread_id in range(self.threads)]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join(timeout=60.0)
+        if raise_errors:
+            outcome.raise_first()
+        return outcome
+
+
+__all__ = ["BarrierHarness", "HarnessResult"]

@@ -135,6 +135,36 @@ def check_metric_ranges(values: dict[str, float]) -> None:
 
 
 # ---------------------------------------------------------------------- #
+# Snapshot consistency on mutable galleries
+# ---------------------------------------------------------------------- #
+def check_snapshot_consistency(gallery, snapshot, entries,
+                               k: int | None = None) -> None:
+    """A retrieval list served from ``snapshot`` is one coherent version.
+
+    Every returned id must have been live at ``snapshot.version``
+    (per :meth:`ShardedGallery.is_visible` — no resurrected tombstones,
+    no rows from a later version), ids are unique (aliased re-embed
+    generations collapse to one public id), and scores arrive best
+    first.  This is the torn-read check for churn-under-traffic: a
+    query pinned to version v must never mix rows from v and v+1.
+    """
+    ids = [entry.video_id for entry in entries]
+    assert len(ids) == len(set(ids)), (
+        f"duplicate ids in one retrieval list: {ids}")
+    scores = [entry.score for entry in entries]
+    assert scores == sorted(scores, reverse=True), (
+        f"retrieval list not sorted best-first: {scores}")
+    if k is not None:
+        assert len(entries) <= int(k), (
+            f"retrieval list longer than k={k}: {len(entries)} entries")
+    version = snapshot.version
+    for video_id in ids:
+        assert gallery.is_visible(video_id, version), (
+            f"id {video_id!r} returned from snapshot v{version} was not "
+            f"visible at that version (torn read)")
+
+
+# ---------------------------------------------------------------------- #
 # Embed-cache coherence
 # ---------------------------------------------------------------------- #
 def check_cache_coherence(engine, videos) -> None:

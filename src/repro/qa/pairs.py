@@ -776,3 +776,152 @@ register(OraclePair(
     description="every legacy attack re-expressed as a registry "
                 "composition is bit-identical (trace, queries, pixels)",
 ))
+
+
+# ---------------------------------------------------------------------- #
+# scale-out serving: worker pool + live gallery churn
+# ---------------------------------------------------------------------- #
+def _pooled_world(seed: int):
+    """A deterministic multi-shard, replication-1 world for churn runs.
+
+    Replication is pinned at 1 because :meth:`ShardedGallery.enable_churn`
+    requires single-replica placement on a populated gallery; the
+    replicated read path has its own oracle
+    (``retrieval.replicated_vs_single``).
+    """
+    return build_world(seed % 997, num_videos=12, num_nodes=3,
+                       replication=1)
+
+
+def _pooled_config(batch: int, workers: int) -> ServingConfig:
+    # Uncontended queue, no budgets: shedding under load has its own
+    # tests; the pooled contract is about clean-path equivalence.
+    return ServingConfig(max_batch_size=batch, max_wait_s=0.003,
+                         queue_capacity=512, workers=workers)
+
+
+def _pooled_run(workers: int, seed: int, tenants: int, per_tenant: int,
+                batch: int):
+    """A pure-query timeline through the front end at a worker count.
+
+    The contract: worker count is semantics-invisible.  Admission,
+    accounting, and snapshotting happen on the event-loop thread at
+    arrival/dispatch virtual times, so W workers change virtual
+    latencies and throughput but never statuses, rankings, or ledgers.
+    """
+    world = _pooled_world(seed)
+    specs = [TenantSpec(f"tenant-{i}", 150.0 + 50.0 * i, per_tenant)
+             for i in range(tenants)]
+    timeline = generate_timeline(seed + 11, specs, world.gallery_videos)
+    report = ServingFrontend(world.service,
+                             _pooled_config(batch, workers)).run(timeline)
+    return {
+        "statuses": [response.status for response in report.responses],
+        "lists": [response.result for response in report.responses
+                  if response.ok],
+        "served_by_tenant": report.served_by_tenant,
+        "ledger": (world.service.query_count,
+                   world.service.queries_issued,
+                   world.service.queries_refunded),
+    }
+
+
+register(OraclePair(
+    name="serving.pooled_vs_single",
+    reference=lambda **case: _pooled_run(1, **case),
+    fast=lambda **case: _pooled_run(3, **case),
+    strategy=Strategy(
+        "serving_pool",
+        lambda rng: {"seed": int(rng.integers(0, 2**31)),
+                     "tenants": int(rng.integers(1, 4)),
+                     "per_tenant": int(rng.integers(1, 6)),
+                     "batch": int(rng.integers(2, 7))},
+        {"tenants": shrink_int(1), "per_tenant": shrink_int(1),
+         "batch": shrink_int(1)},
+    ),
+    compare=_serving_compare,
+    cases=3,
+    description="worker-pool execution is semantics-invisible: statuses, "
+                "rankings, and ledgers match the single-worker scheduler",
+    guards=("REPRO_SERVING_WORKERS",),
+))
+
+
+def _mutating_timeline(seed: int, tenants: int, per_tenant: int,
+                       adds: int, deletes: int, reembeds: int):
+    """One (requests ⊎ events) timeline and its world, deterministically."""
+    from repro.serving import generate_churn
+
+    world = _pooled_world(seed)
+    specs = [TenantSpec(f"tenant-{i}", 150.0 + 50.0 * i, per_tenant)
+             for i in range(tenants)]
+    requests = generate_timeline(seed + 11, specs, world.gallery_videos)
+    horizon = max((request.arrival_s for request in requests), default=0.1)
+    events = generate_churn(seed, [v.video_id for v in world.gallery_videos],
+                            adds=adds, deletes=deletes, reembeds=reembeds,
+                            horizon_s=horizon)
+    return world, list(requests) + list(events)
+
+
+def _mutating_run(pooled: bool, seed: int, tenants: int, per_tenant: int,
+                  adds: int, deletes: int, reembeds: int, batch: int):
+    """Replay a mutating timeline pooled (W=3) or sequentially.
+
+    The contract: a query admitted at time t sees exactly the gallery
+    version current at t (events before queries on ties), no matter how
+    long its batch waits on a worker — snapshot pinning at admission
+    makes add/delete/re-embed under traffic linearizable at arrival
+    order, with bit-identical ledgers.
+    """
+    from repro.serving import replay_sequential_mutating
+
+    world, timeline = _mutating_timeline(seed, tenants, per_tenant,
+                                         adds, deletes, reembeds)
+    config = _pooled_config(batch, 3)
+    if pooled:
+        report = ServingFrontend(world.service, config).run(timeline)
+    else:
+        report = replay_sequential_mutating(timeline, world.service, config)
+    return {
+        "statuses": [response.status for response in report.responses],
+        "lists": [response.result for response in report.responses
+                  if response.ok],
+        "served_by_tenant": report.served_by_tenant,
+        "events": report.gallery_events,
+        "ledger": (world.service.query_count,
+                   world.service.queries_issued,
+                   world.service.queries_refunded),
+    }
+
+
+def _mutating_compare(reference, fast):
+    assert reference["events"] == fast["events"], (
+        f"applied-event counts diverged: {reference['events']} vs "
+        f"{fast['events']}")
+    _serving_compare(reference, fast)
+
+
+register(OraclePair(
+    name="serving.mutating_timeline",
+    reference=lambda **case: _mutating_run(False, **case),
+    fast=lambda **case: _mutating_run(True, **case),
+    strategy=Strategy(
+        "serving_churn",
+        lambda rng: {"seed": int(rng.integers(0, 2**31)),
+                     "tenants": int(rng.integers(1, 4)),
+                     "per_tenant": int(rng.integers(2, 7)),
+                     "adds": int(rng.integers(0, 4)),
+                     "deletes": int(rng.integers(0, 5)),
+                     "reembeds": int(rng.integers(0, 4)),
+                     "batch": int(rng.integers(2, 7))},
+        {"tenants": shrink_int(1), "per_tenant": shrink_int(1),
+         "adds": shrink_int(0), "deletes": shrink_int(0),
+         "reembeds": shrink_int(0), "batch": shrink_int(1)},
+    ),
+    compare=_mutating_compare,
+    cases=3,
+    description="interleaved query/add/delete/re-embed replayed "
+                "sequentially matches the pooled front end: statuses, "
+                "rankings, ledgers, and applied-event counts",
+    guards=("REPRO_SERVING_WORKERS", "REPRO_GALLERY_CHURN"),
+))

@@ -51,6 +51,11 @@ class AttackCheckpoint:
     objective_trace_len: int | None
     payload: dict = field(default_factory=dict)
     version: int = CHECKPOINT_VERSION
+    #: Full service ledger at the mark.  Restoring only ``query_count``
+    #: would leave the interrupted iteration's issued-but-unsettled
+    #: queries dangling, breaking ``issued == charged + refunded``.
+    service_queries_issued: int | None = None
+    service_queries_refunded: int | None = None
 
 
 def _copy_value(value):
@@ -132,6 +137,13 @@ class CheckpointSession:
         service = self._service()
         if service is not None and checkpoint.service_query_count is not None:
             service.query_count = checkpoint.service_query_count
+            issued = getattr(checkpoint, "service_queries_issued", None)
+            if issued is not None and hasattr(service, "queries_issued"):
+                service.queries_issued = issued
+            refunded = getattr(checkpoint, "service_queries_refunded", None)
+            if refunded is not None and \
+                    hasattr(service, "queries_refunded"):
+                service.queries_refunded = refunded
         if checkpoint.objective_queries is not None:
             self.objective.queries = checkpoint.objective_queries
         if checkpoint.objective_trace_len is not None:
@@ -170,6 +182,7 @@ class CheckpointSession:
         if not self.enabled:
             return
         service_count, objective_queries, trace_len = self._counts()
+        service = self._service()
         self._mark = AttackCheckpoint(
             algo=self.algo,
             iteration=int(iteration),
@@ -179,6 +192,9 @@ class CheckpointSession:
             objective_trace_len=trace_len,
             payload={key: _copy_value(value)
                      for key, value in payload.items()},
+            service_queries_issued=getattr(service, "queries_issued", None),
+            service_queries_refunded=getattr(service, "queries_refunded",
+                                             None),
         )
 
     def persist(self) -> None:

@@ -33,6 +33,8 @@ from repro.retrieval.index import FeatureIndex
 from repro.retrieval.ann import IVFIndex
 from repro.retrieval.config import Preprocessor, ServiceConfig
 from repro.retrieval.nodes import DataNode, ShardedGallery
+from repro.retrieval.placement import ConsistentHashRing, stable_hash
+from repro.retrieval.snapshot import GallerySnapshot, filter_entries
 from repro.retrieval.engine import RetrievalEngine
 from repro.retrieval.service import RetrievalService
 
@@ -53,6 +55,10 @@ __all__ = [
     "IVFIndex",
     "DataNode",
     "ShardedGallery",
+    "ConsistentHashRing",
+    "stable_hash",
+    "GallerySnapshot",
+    "filter_entries",
     "NodeDownError",
     "DeadlineExceeded",
     "RetrievalError",

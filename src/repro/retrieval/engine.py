@@ -33,14 +33,16 @@ class RetrievalEngine:
                  similarity: SimilarityFn | str = negative_l2,
                  num_nodes: int = 4, cache_size: int | None = None,
                  resilience: ResilienceConfig | None = None,
-                 index_tier: str | None = None) -> None:
+                 index_tier: str | None = None,
+                 placement: str = "round-robin") -> None:
         if isinstance(similarity, str):
             similarity = create_similarity(similarity)
         self.extractor = extractor
         self.gallery = ShardedGallery(num_nodes=num_nodes,
                                       similarity=similarity,
                                       resilience=resilience,
-                                      index_tier=index_tier)
+                                      index_tier=index_tier,
+                                      placement=placement)
         self.embedding_cache = EmbeddingCache(cache_size)
         #: None = follow the global REPRO_NN_FUSE switch.
         self._fuse: bool | None = None
@@ -68,16 +70,22 @@ class RetrievalEngine:
         """
         self._fuse = None if fuse is None else bool(fuse)
 
-    def _fuse_effective(self) -> bool:
+    def _fuse_effective(self, override: bool | None = None) -> bool:
         """Resolve the fuse switch for the next embedding batch.
 
         An installed :class:`~repro.resilience.FaultPlan` forces eager:
         fault-injection runs audit the exact op-by-op execution, and the
         suppression is surfaced on the ``nn.jit.fallbacks`` counter.
+        ``override`` short-circuits the engine/global switches — the
+        pooled serving executor passes ``False`` because the fuse replay
+        arenas are per-model, not per-thread.
         """
         from repro.nn import jit
 
-        fuse = jit.enabled() if self._fuse is None else self._fuse
+        if override is not None:
+            fuse = bool(override)
+        else:
+            fuse = jit.enabled() if self._fuse is None else self._fuse
         if fuse and getattr(self.gallery, "fault_plan", None) is not None:
             from repro.obs import counter
 
@@ -97,11 +105,12 @@ class RetrievalEngine:
     # Embedding (cached)
     # -------------------------------------------------------------- #
     def embed_queries(self, videos: list[Video],
-                      batch_size: int = 16) -> np.ndarray:
+                      batch_size: int = 16,
+                      fuse_override: bool | None = None) -> np.ndarray:
         """Embed videos through the cache; misses share one forward batch."""
         if not videos:
             return np.zeros((0, self.extractor.feature_dim))
-        fuse = self._fuse_effective()
+        fuse = self._fuse_effective(fuse_override)
         if not self.embedding_cache.enabled:
             return self.extractor.embed_videos(videos, batch_size=batch_size,
                                                fuse=fuse)
@@ -138,6 +147,28 @@ class RetrievalEngine:
         return len(self.gallery)
 
     # -------------------------------------------------------------- #
+    # Online gallery mutation (churn)
+    # -------------------------------------------------------------- #
+    def enable_churn(self) -> None:
+        """Allow live add/delete/re-embed on the gallery (idempotent)."""
+        self.gallery.enable_churn()
+
+    def add_video(self, video: Video) -> None:
+        """Embed and insert one new video into a live gallery."""
+        self.gallery.enable_churn()
+        feature = self.embed_queries([video])[0]
+        self.gallery.add(video.video_id, video.label, feature)
+
+    def remove_video(self, video_id: str) -> None:
+        """Tombstone a live gallery video."""
+        self.gallery.delete(video_id)
+
+    def reembed_video(self, video: Video) -> None:
+        """Re-embed a live gallery video (e.g. after content edits)."""
+        feature = self.embed_queries([video])[0]
+        self.gallery.reembed(video.video_id, video.label, feature)
+
+    # -------------------------------------------------------------- #
     # Retrieval
     # -------------------------------------------------------------- #
     def retrieve(self, video: Video, m: int) -> RetrievalList:
@@ -145,11 +176,21 @@ class RetrievalEngine:
         feature = self.embed_queries([video])[0]
         return RetrievalList(self.gallery.search(feature, m))
 
-    def retrieve_batch(self, videos: list[Video], m: int) -> list[RetrievalList]:
+    def retrieve_batch(self, videos: list[Video], m: int,
+                       snapshots: list | None = None,
+                       fuse_override: bool | None = None
+                       ) -> list[RetrievalList]:
         """``R^m`` for every video, embedded in one forward batch.
 
         Identical results to per-video :meth:`retrieve` calls; the model
         forward, gallery scoring, and top-k all run batched.
+
+        ``snapshots`` pins each query to the
+        :class:`~repro.retrieval.snapshot.GallerySnapshot` it was
+        admitted under (one per video): queries sharing a snapshot are
+        still scored in one vectorized pass per group, and per-query
+        results match sequential :meth:`retrieve` calls made at the
+        corresponding gallery versions.
 
         With a :class:`~repro.resilience.FaultPlan` installed the gallery
         legs run per query instead: the fault clock, rng draws, and the
@@ -161,7 +202,9 @@ class RetrievalEngine:
         """
         if not videos:
             return []
-        features = self.embed_queries(videos)
+        features = self.embed_queries(videos, fuse_override=fuse_override)
+        if snapshots is not None:
+            return self._retrieve_batch_pinned(features, m, snapshots)
         if getattr(self.gallery, "fault_plan", None) is None:
             try:
                 return [
@@ -183,6 +226,39 @@ class RetrievalEngine:
                 exc.served = results
                 exc.served_count = len(results)
                 raise
+        return results
+
+    def _retrieve_batch_pinned(self, features: np.ndarray, m: int,
+                               snapshots: list) -> list[RetrievalList]:
+        """Batched search with one pinned snapshot per query.
+
+        Consecutive runs of queries sharing a snapshot version score in
+        one :meth:`ShardedGallery.search_batch` call; an interrupting
+        :class:`RetrievalUnavailable` is annotated with the served
+        prefix like the fault-plan path.
+        """
+        if len(snapshots) != len(features):
+            raise ValueError(
+                f"got {len(snapshots)} snapshots for {len(features)} queries")
+        results: list[RetrievalList] = []
+        row = 0
+        try:
+            while row < len(features):
+                snap = snapshots[row]
+                end = row + 1
+                while end < len(features) and (
+                        snapshots[end] is snap
+                        or (snap is not None and snapshots[end] is not None
+                            and snapshots[end].version == snap.version)):
+                    end += 1
+                for entries in self.gallery.search_batch(
+                        features[row:end], m, snapshot=snap):
+                    results.append(RetrievalList(entries))
+                row = end
+        except RetrievalUnavailable as exc:
+            exc.served = results
+            exc.served_count = len(results)
+            raise
         return results
 
     def retrieve_by_feature(self, feature: np.ndarray, m: int) -> RetrievalList:

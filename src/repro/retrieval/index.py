@@ -16,6 +16,13 @@ class FeatureIndex:
     returns the ``k`` best entries.  :meth:`search_batch` does the same
     for a ``(B, d)`` query matrix with one vectorized scoring pass and one
     ``argpartition`` for the whole batch.
+
+    The index is append-only and safe for concurrent readers: ids and
+    labels are appended *before* their feature row, the matrix cache is
+    grow-only (readers validate its length against the rows they need
+    and rebuild when stale), and :meth:`search_limited` /
+    :meth:`search_batch_limited` score only the first ``rows`` rows so a
+    snapshot reader never observes rows appended after its watermark.
     """
 
     def __init__(self, similarity: SimilarityFn = negative_l2) -> None:
@@ -26,7 +33,7 @@ class FeatureIndex:
         self._matrix: np.ndarray | None = None
 
     def __len__(self) -> int:
-        return len(self._ids)
+        return len(self._features)
 
     def add(self, video_id: str, label: int, feature: np.ndarray) -> None:
         """Append one gallery row."""
@@ -35,17 +42,16 @@ class FeatureIndex:
             raise ValueError(
                 f"feature dim mismatch: {feature.shape} vs {self._features[0].shape}"
             )
-        self._features.append(feature)
+        # ids/labels first so any visible feature row always has metadata.
         self._ids.append(str(video_id))
         self._labels.append(int(label))
-        self._matrix = None  # invalidate cache
+        self._features.append(feature)
 
     def add_batch(self, ids: list[str], labels: list[int],
                   features: np.ndarray) -> None:
         """Append many rows in one pass (``features`` is ``(n, d)``).
 
-        Validates the feature dimension once and invalidates the matrix
-        cache once, instead of per-row.
+        Validates the feature dimension once instead of per-row.
         """
         # Mirror the zip() semantics of per-row insertion: extra entries in
         # any argument are ignored.
@@ -59,20 +65,30 @@ class FeatureIndex:
                 f"feature dim mismatch: {features.shape[1:]} vs "
                 f"{self._features[0].shape}"
             )
-        self._features.extend(features)
         self._ids.extend(str(video_id) for video_id in ids[:count])
         self._labels.extend(int(label) for label in labels[:count])
-        self._matrix = None  # invalidate cache (once per batch)
+        self._features.extend(features)
 
-    def _feature_matrix(self) -> np.ndarray:
-        """The ``(n, d)`` gallery matrix; callers must guard ``n == 0``."""
-        if not self._features:
+    def _feature_matrix(self, rows: int | None = None) -> np.ndarray:
+        """The first ``rows`` gallery rows as an ``(rows, d)`` matrix.
+
+        The cache is grow-only: a cached matrix shorter than ``rows`` is
+        rebuilt, a longer one (rows appended by a writer after the
+        caller fixed its watermark) is sliced.  Callers must guard
+        ``rows == 0``.
+        """
+        needed = len(self._features) if rows is None else int(rows)
+        if needed <= 0:
             # An empty index has no feature dimension to expose; searching
             # it must short-circuit rather than score a bogus (0, 0) array.
             raise RuntimeError("feature matrix requested from an empty index")
-        if self._matrix is None:
-            self._matrix = np.stack(self._features)
-        return self._matrix
+        matrix = self._matrix
+        if matrix is None or matrix.shape[0] < needed:
+            matrix = np.stack(list(self._features))
+            self._matrix = matrix
+        if matrix.shape[0] == needed:
+            return matrix
+        return matrix[:needed]
 
     def _top_k(self, scores: np.ndarray, k: int) -> list[RetrievalEntry]:
         """Exact-sorted head of one score row (argpartition + short sort)."""
@@ -88,10 +104,20 @@ class FeatureIndex:
 
         An empty index returns an empty list for any query shape.
         """
-        if not self._ids:
+        return self.search_limited(query, k, len(self._features))
+
+    def search_limited(self, query: np.ndarray, k: int,
+                       rows: int) -> list[RetrievalEntry]:
+        """:meth:`search` restricted to the first ``rows`` rows.
+
+        Snapshot readers pass their per-node watermark so rows appended
+        after the snapshot was taken are never scored.
+        """
+        rows = min(int(rows), len(self._features))
+        if rows <= 0:
             return []
         query = np.asarray(query, dtype=np.float64).reshape(-1)
-        scores = self.similarity(query, self._feature_matrix())
+        scores = self.similarity(query, self._feature_matrix(rows))
         return self._top_k(scores, min(int(k), len(scores)))
 
     def search_batch(self, queries: np.ndarray, k: int
@@ -102,13 +128,19 @@ class FeatureIndex:
         ``argpartition`` over the batch; per-row results are identical to
         B :meth:`search` calls (the l2 batch kernel is bit-exact).
         """
+        return self.search_batch_limited(queries, k, len(self._features))
+
+    def search_batch_limited(self, queries: np.ndarray, k: int,
+                             rows: int) -> list[list[RetrievalEntry]]:
+        """:meth:`search_batch` restricted to the first ``rows`` rows."""
         queries = np.asarray(queries, dtype=np.float64)
         queries = queries.reshape(queries.shape[0], -1) if queries.ndim > 1 \
             else queries.reshape(1, -1)
-        if not self._ids:
+        rows = min(int(rows), len(self._features))
+        if rows <= 0:
             return [[] for _ in range(queries.shape[0])]
         scores = batched_similarity(self.similarity)(
-            queries, self._feature_matrix())
+            queries, self._feature_matrix(rows))
         k = min(int(k), scores.shape[1])
         heads = np.argpartition(-scores, k - 1, axis=1)[:, :k]
         results = []

@@ -264,20 +264,82 @@ class RetrievalService:
             # detector, a test spy, ...) — batching must not route around
             # the instrumentation, so fall back to per-video queries.
             return [self.query(video, m) for video in videos]
-        prepared = []
-        for video in videos:
-            self._check_budget()
-            self._account_one()
-            prepared.append(self._prepare(video))
+        prepared = self.begin_batch(videos)
         with span("retrieval.query_batch", batch=len(videos)):
             try:
                 return self.engine.retrieve_batch(
                     prepared, self.config.m if m is None else int(m))
             except RetrievalUnavailable as exc:
-                served = int(getattr(exc, "served_count", 0))
-                self._refund(1)
-                self._unissue(len(prepared) - served - 1)
+                self.settle_interrupted(
+                    len(prepared), int(getattr(exc, "served_count", 0)))
                 raise
+
+    # -------------------------------------------------------------- #
+    # Split accounting/compute (pooled serving executor)
+    # -------------------------------------------------------------- #
+    def begin_batch(self, videos: list[Video]) -> list[Video]:
+        """Account and prepare a batch whose compute happens elsewhere.
+
+        The serving event loop calls this at dispatch time — budget
+        checks, per-video accounting, and (possibly stateful) defense
+        preprocessing all run on the loop thread in arrival order, so
+        worker count never changes the ledger.  The returned prepared
+        videos go to :meth:`compute_batch` on a worker.
+        """
+        prepared = []
+        for video in videos:
+            self._check_budget()
+            self._account_one()
+            prepared.append(self._prepare(video))
+        return prepared
+
+    def compute_batch(self, prepared: list[Video], m: int | None = None,
+                      snapshots: list | None = None,
+                      fuse_override: bool | None = None
+                      ) -> list[RetrievalList]:
+        """Pure compute for a batch accounted via :meth:`begin_batch`.
+
+        Safe to run on a worker thread: it touches no service counters.
+        A propagating :class:`~repro.errors.RetrievalUnavailable` must be
+        settled by the caller with :meth:`settle_interrupted`.
+        """
+        with span("retrieval.query_batch", batch=len(prepared)):
+            return self.engine.retrieve_batch(
+                prepared, self.config.m if m is None else int(m),
+                snapshots=snapshots, fuse_override=fuse_override)
+
+    def settle_interrupted(self, total: int, served: int) -> None:
+        """Sequential serve-or-refund settlement for an interrupted batch.
+
+        Mirrors :meth:`query_batch`'s exception path: the served prefix
+        stays charged, the failing query is refunded, and the suffix a
+        sequential caller would never have sent is rolled off the
+        ledger.
+        """
+        self._refund(1)
+        self._unissue(int(total) - int(served) - 1)
+
+    def query_batch_pinned(self, videos: list[Video], snapshots: list,
+                           m: int | None = None) -> list[RetrievalList]:
+        """:meth:`query_batch` with one pinned gallery snapshot per video.
+
+        Used by the serving frontend under churn: each query is
+        evaluated against the gallery version it was admitted under,
+        with the same sequential accounting semantics as
+        :meth:`query_batch`.  An instance-level :meth:`query` override
+        (stateful detector, test spy) falls back to per-video queries
+        against the *current* gallery — instrumented services are not
+        snapshot-pinned.
+        """
+        if "query" in self.__dict__:
+            return [self.query(video, m) for video in videos]
+        prepared = self.begin_batch(videos)
+        try:
+            return self.compute_batch(prepared, m, snapshots=snapshots)
+        except RetrievalUnavailable as exc:
+            self.settle_interrupted(len(prepared),
+                                    int(getattr(exc, "served_count", 0)))
+            raise
 
     # -------------------------------------------------------------- #
     # Speculative evaluation

@@ -1,0 +1,86 @@
+"""Immutable gallery snapshots for snapshot-consistent reads.
+
+A mutable :class:`~repro.retrieval.nodes.ShardedGallery` hands every
+reader a :class:`GallerySnapshot` — a frozen view of *one* gallery
+version.  A query evaluated against a snapshot sees exactly the rows
+that were live at that version: rows added later are hidden by the
+per-node ``watermarks`` (physical row counts captured at snapshot
+time), rows deleted later stay visible because their tombstone version
+in ``dead_at`` exceeds the snapshot's, and rows deleted at or before
+the snapshot are filtered out (the per-node ``node_dead`` counts size
+the over-fetch that guarantees ``k`` live results still surface).
+
+The dictionaries are *shared* with the gallery, not copied: mutations
+only ever add keys with versions greater than any existing snapshot,
+so an old snapshot's filter decisions never change.  That makes
+snapshots O(nodes) to build and free to hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class GallerySnapshot:
+    """One immutable version of a sharded gallery."""
+
+    #: Monotonic version counter; bumped once per mutation.
+    version: int
+    #: The per-node index objects pinned by this snapshot.  Tier swaps
+    #: and compactions install *new* index objects, so a reader holding
+    #: this tuple never observes a half-built index.
+    indexes: tuple
+    #: Physical rows per node at snapshot time; rows appended later sit
+    #: beyond the watermark and are invisible to this snapshot.
+    watermarks: tuple
+    #: Tombstoned rows still physically present per node (within the
+    #: watermark); used to over-fetch so filtering keeps ``k`` results.
+    node_dead: tuple
+    #: rowid -> version at which the row was tombstoned (shared, grow-only).
+    dead_at: Mapping
+    #: rowid -> version at which the row was added (shared, grow-only;
+    #: rows from before churn was enabled are absent and default to 0).
+    added_at: Mapping
+    #: rowid -> public video id for re-embedded generations (shared).
+    alias: Mapping
+    #: Live (visible) row count at this version.
+    live_count: int
+    #: Index tier the pinned indexes were built with.
+    tier: str
+
+    def visible(self, rowid: str) -> bool:
+        """Is the physical row ``rowid`` live at this version?"""
+        dead = self.dead_at.get(rowid)
+        if dead is not None and dead <= self.version:
+            return False
+        return self.added_at.get(rowid, 0) <= self.version
+
+    def public_id(self, rowid: str) -> str:
+        """Map a physical rowid to its public video id."""
+        return self.alias.get(rowid, rowid)
+
+
+def filter_entries(entries: Sequence, snapshot: GallerySnapshot, k: int,
+                   entry_type) -> list:
+    """Keep the first ``k`` entries visible at ``snapshot``.
+
+    Re-embedded generations are mapped back to their public video id so
+    callers never observe internal rowids.
+    """
+    out: list = []
+    for entry in entries:
+        rowid = entry.video_id
+        if not snapshot.visible(rowid):
+            continue
+        public = snapshot.alias.get(rowid)
+        if public is not None:
+            entry = entry_type(public, entry.label, entry.score)
+        out.append(entry)
+        if len(out) >= k:
+            break
+    return out
+
+
+__all__ = ["GallerySnapshot", "filter_entries"]

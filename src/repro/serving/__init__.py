@@ -26,6 +26,17 @@ from repro.serving.config import (
     ServingConfig,
     TenantPolicy,
     default_batch_size,
+    default_churn,
+    default_workers,
+)
+from repro.serving.events import (
+    AddVideo,
+    DeleteVideo,
+    GalleryEvent,
+    ReembedVideo,
+    generate_churn,
+    merge_timeline,
+    replay_sequential_mutating,
 )
 from repro.serving.frontend import (
     Request,
@@ -34,6 +45,7 @@ from repro.serving.frontend import (
     ServingReport,
     replay_sequential,
 )
+from repro.serving.pool import WorkerPool
 from repro.serving.queue import BoundedQueue
 from repro.serving.workload import (
     TenantSpec,
@@ -42,9 +54,13 @@ from repro.serving.workload import (
 )
 
 __all__ = [
+    "AddVideo",
     "AdmissionController",
     "BoundedQueue",
+    "DeleteVideo",
+    "GalleryEvent",
     "PRIORITIES",
+    "ReembedVideo",
     "Rejection",
     "Request",
     "Response",
@@ -56,8 +72,14 @@ __all__ = [
     "TenantSpec",
     "TokenBucket",
     "VirtualClock",
+    "WorkerPool",
     "closed_spaced_timeline",
     "default_batch_size",
+    "default_churn",
+    "default_workers",
+    "generate_churn",
     "generate_timeline",
+    "merge_timeline",
     "replay_sequential",
+    "replay_sequential_mutating",
 ]

@@ -24,6 +24,12 @@ PRIORITIES = ("interactive", "bulk")
 #: Sentinel meaning "take the env/default batch size".
 _ENV_BATCH = -1
 
+#: Sentinel meaning "take the env/default worker count".
+_ENV_WORKERS = -1
+
+#: Sentinel meaning "take the env/default churn switch".
+_ENV_CHURN = -1
+
 
 def default_batch_size() -> int:
     """``REPRO_SERVING_BATCH`` when set (and valid), else 8."""
@@ -36,6 +42,30 @@ def default_batch_size() -> int:
         if value >= 1:
             return value
     return 8
+
+
+def default_workers() -> int:
+    """``REPRO_SERVING_WORKERS`` when set (and valid), else 1."""
+    raw = os.environ.get("REPRO_SERVING_WORKERS", "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            value = 0
+        if value >= 1:
+            return value
+    return 1
+
+
+def default_churn() -> bool:
+    """``REPRO_GALLERY_CHURN`` truthiness (default off).
+
+    When on, the front end pins a gallery snapshot per admitted request
+    even for pure-query timelines — useful when something outside the
+    event loop mutates the gallery mid-run.
+    """
+    raw = os.environ.get("REPRO_GALLERY_CHURN", "").strip().lower()
+    return raw in ("1", "true", "yes", "on")
 
 
 @dataclass(frozen=True)
@@ -102,6 +132,20 @@ class ServingConfig:
         (``base + per_item * batch``).  This is what makes batching pay
         on the virtual clock: 8 coalesced queries cost one base instead
         of eight.
+    workers:
+        Worker-pool size for dispatched batches.  ``1`` (the default)
+        is the single-server scheduler; ``> 1`` runs batch compute on a
+        thread pool leaning on the GIL-releasing BLAS kernels, with
+        per-worker virtual clocks.  Defaults to
+        ``REPRO_SERVING_WORKERS`` (else 1).  Semantics-invisible — see
+        the ``serving.pooled_vs_single`` oracle.
+    churn:
+        Force gallery-snapshot pinning per admitted request even for
+        pure-query timelines (mutating timelines enable it on their
+        own).  Defaults to ``REPRO_GALLERY_CHURN`` (else off).
+    compact_dead_fraction / compact_min_dead:
+        Background compaction policy for mutating timelines: a shard is
+        rebuilt once its tombstones pass both thresholds.
     tenants:
         Per-tenant :class:`TenantPolicy` overrides by tenant id.
     default_tenant:
@@ -114,14 +158,29 @@ class ServingConfig:
     shed_policy: str = "shed-bulk"
     service_base_s: float = 0.004
     service_per_item_s: float = 0.001
+    workers: int = _ENV_WORKERS
+    churn: bool | int = _ENV_CHURN
+    compact_dead_fraction: float = 0.25
+    compact_min_dead: int = 4
     tenants: Mapping[str, TenantPolicy] = field(default_factory=dict)
     default_tenant: TenantPolicy = field(default_factory=TenantPolicy)
 
     def __post_init__(self) -> None:
         if self.max_batch_size == _ENV_BATCH:
             object.__setattr__(self, "max_batch_size", default_batch_size())
+        if self.workers == _ENV_WORKERS:
+            object.__setattr__(self, "workers", default_workers())
+        if self.churn == _ENV_CHURN:
+            object.__setattr__(self, "churn", default_churn())
+        object.__setattr__(self, "churn", bool(self.churn))
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if not (0.0 < self.compact_dead_fraction <= 1.0):
+            raise ValueError("compact_dead_fraction must be in (0, 1]")
+        if self.compact_min_dead < 1:
+            raise ValueError("compact_min_dead must be >= 1")
         if self.max_wait_s < 0:
             raise ValueError("max_wait_s must be non-negative")
         if self.queue_capacity < 1:
@@ -144,4 +203,4 @@ class ServingConfig:
 
 
 __all__ = ["ServingConfig", "TenantPolicy", "PRIORITIES",
-           "default_batch_size"]
+           "default_batch_size", "default_workers", "default_churn"]

@@ -27,6 +27,7 @@ qa budget-conservation invariant holds through an outage.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,12 +37,15 @@ from repro.errors import (
     RetrievalUnavailable,
     ServiceOverloaded,
 )
+from repro.hashindex.compaction import CompactionPolicy
 from repro.obs import counter, gauge, histogram, span
 from repro.retrieval.lists import RetrievalList
 from repro.retrieval.service import RetrievalService
 from repro.serving.admission import AdmissionController
 from repro.serving.clock import VirtualClock
 from repro.serving.config import PRIORITIES, ServingConfig
+from repro.serving.events import GalleryEvent, apply_gallery_event
+from repro.serving.pool import WorkerPool
 from repro.serving.queue import BoundedQueue
 from repro.video.types import Video
 
@@ -94,6 +98,8 @@ class ServingReport:
     makespan_s: float
     batches: int
     dispatched: int
+    workers: int = 1
+    gallery_events: int = 0
 
     @property
     def served(self) -> int:
@@ -149,8 +155,25 @@ class ServingFrontend:
     # -------------------------------------------------------------- #
     # Event loop
     # -------------------------------------------------------------- #
-    def run(self, requests: list[Request]) -> ServingReport:
-        """Replay a request timeline through the scheduler."""
+    def run(self, items: "list[Request | GalleryEvent]") -> ServingReport:
+        """Replay a timeline through the scheduler.
+
+        ``items`` may mix :class:`Request`s with
+        :class:`~repro.serving.events.GalleryEvent` mutations.  A pure
+        request timeline on a single-worker, churn-free config runs the
+        original single-server loop unchanged (bit-identical schedules);
+        anything else — ``config.workers > 1``, ``config.churn``, or any
+        gallery event in the timeline — routes to the pooled scheduler.
+        """
+        requests = [item for item in items
+                    if not isinstance(item, GalleryEvent)]
+        events = [item for item in items if isinstance(item, GalleryEvent)]
+        if not events and self.config.workers == 1 and not self.config.churn:
+            return self._run_legacy(requests)
+        return self._run_pooled(requests, events)
+
+    def _run_legacy(self, requests: list[Request]) -> ServingReport:
+        """The original single-server scheduler (static galleries)."""
         config = self.config
         clock = VirtualClock()
         queue = BoundedQueue(config.queue_capacity, config.shed_policy)
@@ -195,6 +218,229 @@ class ServingFrontend:
             batches=state.batches,
             dispatched=state.dispatched,
         )
+
+    # -------------------------------------------------------------- #
+    # Pooled event loop (worker pool + live gallery churn)
+    # -------------------------------------------------------------- #
+    def _effective_workers(self, events: list) -> int:
+        """The worker count after safety fallbacks.
+
+        Three situations force single-worker execution (the inline pool,
+        so everything stays on the loop thread):
+
+        * an installed fault plan — fault clocks and breaker state are
+          scatter-order-dependent and not thread-safe;
+        * an instance-level ``service.query`` override — instrumented
+          services route through the override per video, which touches
+          service counters and must not run concurrently;
+        * gallery events on a compressed index tier — binary/IVF-PQ
+          indexes are not hardened for appends concurrent with reads
+          (the exact tier's grow-only matrix cache is).
+        """
+        workers = self.config.workers
+        if workers == 1:
+            return 1
+        service, gallery = self.service, self.service.engine.gallery
+        reason = None
+        if getattr(gallery, "fault_plan", None) is not None:
+            reason = "fault_plan"
+        elif "query" in service.__dict__:
+            reason = "query_override"
+        elif events and gallery.index_tier != "exact":
+            reason = "compressed_tier"
+        if reason is None:
+            return workers
+        counter("serving.pool_fallbacks", reason=reason).inc()
+        return 1
+
+    def _run_pooled(self, requests: list[Request],
+                    events: list[GalleryEvent]) -> ServingReport:
+        """Scheduler with per-worker virtual clocks and gallery events.
+
+        Determinism contract: admission, snapshot pinning, and gallery
+        mutation all happen on the loop thread at *arrival* virtual
+        times (events before requests on ties — the canonical
+        :func:`~repro.serving.events.merge_timeline` order); service
+        accounting happens at dispatch in dispatch order; workers run
+        only pure compute on pinned snapshots; completions settle in
+        virtual-time order.  Worker count therefore changes wall-clock
+        throughput and virtual latencies, never statuses, rankings, or
+        ledgers — enforced by the ``serving.pooled_vs_single`` and
+        ``serving.mutating_timeline`` oracles.
+        """
+        config = self.config
+        service = self.service
+        engine = service.engine
+        churn = bool(events) or config.churn
+        workers = self._effective_workers(events)
+        if churn:
+            engine.enable_churn()
+        policy = CompactionPolicy(config.compact_dead_fraction,
+                                  config.compact_min_dead)
+
+        clock = VirtualClock()
+        queue = BoundedQueue(config.queue_capacity, config.shed_policy)
+        admission = AdmissionController(config)
+        responses: dict[int, Response] = {}
+        state = _RunState(clock=clock, queue=queue, admission=admission,
+                          responses=responses)
+        #: request index → pinned GallerySnapshot (churn mode only).
+        snapshots: dict[int, object] = {}
+
+        # Canonical merged arrival order: time, then events before
+        # requests, then original order (same key as merge_timeline).
+        arrivals = [(event.arrival_s, 0, order, None, event)
+                    for order, event in enumerate(events)]
+        arrivals += [(request.arrival_s, 1, order, order, request)
+                     for order, request in enumerate(requests)]
+        arrivals.sort(key=lambda entry: entry[:3])
+
+        inflight: list[tuple[float, int, _Flight]] = []
+        seq = 0
+        applied = 0
+
+        # Pin the extractor in eval for the whole run: embed_videos
+        # flips train→eval→train per call, and with workers > 1 one
+        # thread's restore would put another thread's in-flight forward
+        # into training-mode batchnorm (batch-statistic normalization).
+        was_training = workers > 1 and engine.extractor.training
+        if was_training:
+            engine.extractor.eval()
+        try:
+            with span("serving.run", requests=len(requests),
+                      events=len(events)), WorkerPool(workers) as pool:
+                cursor = 0
+                while cursor < len(arrivals) or len(queue) or inflight:
+                    next_done = inflight[0][0] if inflight else None
+                    next_arrival = arrivals[cursor][0] \
+                        if cursor < len(arrivals) else None
+                    dispatch_s = None
+                    if len(queue):
+                        if len(queue) >= config.max_batch_size or \
+                                cursor >= len(arrivals):
+                            ready_s = clock.now_s
+                        else:
+                            ready_s = queue.oldest_enqueued_s + \
+                                config.max_wait_s
+                        dispatch_s = max(ready_s, pool.min_free_s,
+                                         clock.now_s)
+                    # Earliest action wins; ties settle < arrival <
+                    # dispatch (a completion frees its worker before new
+                    # work lands).
+                    candidates = []
+                    if next_done is not None:
+                        candidates.append((max(next_done, clock.now_s), 0))
+                    if next_arrival is not None:
+                        candidates.append((max(next_arrival, clock.now_s), 1))
+                    if dispatch_s is not None:
+                        candidates.append((dispatch_s, 2))
+                    when, action = min(candidates)
+                    clock.advance_to(when)
+                    if action == 0:
+                        done_s, _, flight = heapq.heappop(inflight)
+                        self._settle_flight(state, flight, done_s)
+                    elif action == 1:
+                        _, kind, _, index, item = arrivals[cursor]
+                        cursor += 1
+                        if kind == 0:
+                            apply_gallery_event(engine, item, policy)
+                            applied += 1
+                        else:
+                            self._admit(state, index, item)
+                            if churn and index not in responses:
+                                snapshots[index] = engine.gallery.snapshot()
+                    else:
+                        seq = self._dispatch_pooled(state, pool, inflight,
+                                                    seq, snapshots, churn)
+        finally:
+            if was_training:
+                engine.extractor.train()
+
+        ordered = [responses[index] for index in range(len(requests))]
+        makespan = max(
+            [clock.now_s] + list(pool.free_at_s)
+            + [r.completed_s for r in ordered if r.completed_s is not None]
+            + [event.arrival_s for event in events])
+        return ServingReport(
+            responses=ordered,
+            served_by_tenant=admission.served_by_tenant(),
+            makespan_s=makespan,
+            batches=state.batches,
+            dispatched=state.dispatched,
+            workers=pool.workers,
+            gallery_events=applied,
+        )
+
+    def _dispatch_pooled(self, state: "_RunState", pool: WorkerPool,
+                         inflight: list, seq: int, snapshots: dict,
+                         churn: bool) -> int:
+        """Pop a batch, account it on the loop thread, hand compute to a
+        worker, and book the completion on the virtual timeline."""
+        config, clock = self.config, state.clock
+        entries = state.queue.pop_batch(config.max_batch_size)
+        gauge("serving.queue_depth").set(len(state.queue))
+        batch = [item for item, _ in entries]
+
+        # Global-budget pre-split, identical to the legacy scheduler.
+        budget = self.service.query_budget
+        room = len(batch) if budget is None else \
+            max(0, budget - self.service.query_count)
+        for index, request in batch[room:]:
+            state.admission.refund(request.tenant)
+            counter("serving.rejected", tenant=request.tenant,
+                    reason="global_budget").inc()
+            state.responses[index] = Response(
+                request, "budget", reason="global_budget",
+                error=QueryBudgetExceeded("service query budget exhausted"),
+                completed_s=clock.now_s)
+        batch = batch[:room]
+        if not batch:
+            return seq
+
+        cost_s = config.service_base_s + \
+            config.service_per_item_s * len(batch)
+        worker = pool.pick_worker()
+        done_s = pool.occupy(worker, clock.now_s, cost_s)
+        state.batches += 1
+        state.dispatched += len(batch)
+        counter("serving.pool_dispatches").inc()
+        histogram("serving.batch_size",
+                  buckets=(1, 2, 4, 8, 16, 32, 64)).observe(len(batch))
+
+        videos = [request.video for _, request in batch]
+        if "query" in self.service.__dict__:
+            # Instrumented service: route through query_batch, which
+            # falls back to the per-video override (accounting inside).
+            # _effective_workers already forced the inline pool.
+            future = pool.submit(self.service.query_batch, videos)
+            preaccounted = False
+        else:
+            pinned = [snapshots.get(index) for index, _ in batch] \
+                if churn else None
+            prepared = self.service.begin_batch(videos)
+            # Fuse arenas are reused buffers — not safe across threads.
+            fuse_override = False if pool.workers > 1 else None
+            future = pool.submit(self.service.compute_batch, prepared,
+                                 None, pinned, fuse_override)
+            preaccounted = True
+        heapq.heappush(inflight,
+                       (done_s, seq, _Flight(batch, future, preaccounted)))
+        return seq + 1
+
+    def _settle_flight(self, state: "_RunState", flight: "_Flight",
+                       done_s: float) -> None:
+        """Deliver one completed batch at its virtual completion time."""
+        batch = flight.batch
+        try:
+            results = flight.future.result()
+        except RetrievalUnavailable as exc:
+            if flight.preaccounted:
+                self.service.settle_interrupted(
+                    len(batch), int(getattr(exc, "served_count", 0)))
+            self._settle_outage(state, batch, exc, done_s)
+            return
+        for (index, request), result in zip(batch, results):
+            self._deliver(state, index, request, result, done_s, len(batch))
 
     # -------------------------------------------------------------- #
     # Arrival handling
@@ -330,6 +576,15 @@ class ServingFrontend:
         for index, request in state.queue.drain():
             self._shed(state, index, request, "outage")
         gauge("serving.queue_depth").set(0)
+
+
+@dataclass
+class _Flight:
+    """One dispatched batch whose compute is (virtually) in flight."""
+
+    batch: list
+    future: object
+    preaccounted: bool
 
 
 @dataclass

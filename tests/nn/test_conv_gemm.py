@@ -156,6 +156,47 @@ class TestPlanCache:
         np.testing.assert_array_equal(first, second)
         assert plan_cache_info()["scratch_bytes"] > 0
 
+    def test_scratch_is_thread_local(self, rng):
+        """Concurrent same-shape inference convs must not tear scratch.
+
+        The serving worker pool runs embedding forwards of one shape on
+        several threads at once; a plan-wide cols/padded buffer let one
+        thread's im2col fill corrupt another's mid-GEMM (caught by the
+        serving.pooled_vs_single oracle flaking).
+        """
+        import threading
+
+        from repro.nn import no_grad
+
+        set_conv_impl("gemm")
+        x_data = rng.normal(size=(2, 3, 12, 12))
+        w = Tensor(rng.normal(size=(4, 3, 3, 3)))
+        inputs = [Tensor(x_data + offset) for offset in range(4)]
+        with no_grad():
+            expected = [F.conv2d(v, w, padding=(1, 1)).data.copy()
+                        for v in inputs]
+
+        rounds, errors = 25, []
+
+        def worker(position):
+            try:
+                with no_grad():
+                    for _ in range(rounds):
+                        got = F.conv2d(inputs[position], w,
+                                       padding=(1, 1)).data
+                        np.testing.assert_array_equal(
+                            got, expected[position])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(position,))
+                   for position in range(len(inputs))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[0]
+
     def test_clear(self, rng):
         set_conv_impl("gemm")
         x = Tensor(rng.normal(size=(1, 3, 12, 12)))
