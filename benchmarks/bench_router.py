@@ -1,0 +1,152 @@
+"""Benchmark the cost-model adaptive router against pinned configurations.
+
+The routed engine must be competitive with the *best* hand-pinned
+configuration of the knobs it controls (search batching, embedding
+cache, trace-and-fuse) on a mixed retrieval workload — that is the whole
+point of measuring instead of guessing.  The pinned grid is every
+combination of those knobs with routing disabled; the routed run
+calibrates once (quick probes) and then lets the router decide per call.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_router.py           # full
+    PYTHONPATH=src python benchmarks/bench_router.py --smoke   # CI
+
+The full run records ``BENCH_router.json`` at the repo root.  ``--smoke``
+is the CI gate: routed wall time must stay within ``SMOKE_RATIO`` of the
+best pinned configuration (the full run holds the tighter
+``FULL_RATIO``).  The report also records the speedup over the *worst*
+pinned configuration — the cost of guessing wrong, which is what the
+router exists to avoid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.qa.world import build_world  # noqa: E402
+from repro.router import Router, set_router  # noqa: E402
+from repro.router.calibrate import run_calibration  # noqa: E402
+
+#: Routed wall time must stay within these ratios of the best pinned run.
+FULL_RATIO = 1.10
+SMOKE_RATIO = 1.25
+
+
+def _workload(world, rounds: int, scalar: bool) -> None:
+    """Mixed retrieval traffic: batches with ~50% repeated queries.
+
+    Repeats make the embedding cache matter; batch sizes 1..4 exercise
+    both sides of the scalar/batched search decision.
+    """
+    queries = world.gallery_videos
+    for round_idx in range(rounds):
+        for size in (1, 2, 4):
+            batch = [queries[(round_idx + i) % len(queries)]
+                     for i in range(size)]
+            if scalar:
+                for video in batch:
+                    world.engine.retrieve(video, m=5)
+            else:
+                world.engine.retrieve_batch(batch, m=5)
+
+
+def _timed_run(cache: int, fuse: bool | None, scalar: bool,
+               router: Router | None, rounds: int, seed: int) -> float:
+    """Build a fresh world under one configuration and time the workload."""
+    world = build_world(seed, num_videos=9, cache_size=cache)
+    world.engine.configure_fuse(fuse)
+    set_router(router)
+    try:
+        _workload(world, 1, scalar)  # warm-up: plans, traces, cache fill
+        start = time.perf_counter()
+        _workload(world, rounds, scalar)
+        return time.perf_counter() - start
+    finally:
+        set_router(None)
+        world.engine.configure_fuse(None)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark routed vs pinned retrieval configurations.")
+    parser.add_argument("--rounds", type=int, default=30,
+                        help="workload rounds per configuration")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per configuration (min is kept)")
+    parser.add_argument("--seed", type=int, default=73)
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"CI gate: quick run, routed within "
+                             f"{SMOKE_RATIO}x of the best pinned config")
+    parser.add_argument("--out",
+                        default=str(REPO_ROOT / "BENCH_router.json"),
+                        help="output JSON path (full runs only)")
+    args = parser.parse_args(argv)
+
+    rounds = 6 if args.smoke else args.rounds
+    repeats = 1 if args.smoke else args.repeats
+    ratio_limit = SMOKE_RATIO if args.smoke else FULL_RATIO
+
+    print("[bench_router] calibrating (quick probes)...")
+    profile = run_calibration(quick=True, seed=args.seed)
+
+    # Pinned grid: routing disabled, every knob forced in code.
+    pinned: dict[str, float] = {}
+    for cache, fuse, scalar in itertools.product((0, 64), (False, True),
+                                                 (False, True)):
+        label = (f"cache={'on' if cache else 'off'},"
+                 f"fuse={'on' if fuse else 'off'},"
+                 f"search={'scalar' if scalar else 'batched'}")
+        best = min(_timed_run(cache, fuse, scalar, None, rounds,
+                              args.seed) for _ in range(repeats))
+        pinned[label] = best
+        print(f"[bench_router] pinned {label}: {best * 1e3:.1f} ms")
+
+    # Routed: cache allocated, fuse/search/cache-bypass left to the router.
+    routed_s = min(_timed_run(64, None, False, Router(profile=profile),
+                              rounds, args.seed) for _ in range(repeats))
+    print(f"[bench_router] routed: {routed_s * 1e3:.1f} ms")
+
+    best_label, best_pinned_s = min(pinned.items(), key=lambda kv: kv[1])
+    worst_label, worst_pinned_s = max(pinned.items(), key=lambda kv: kv[1])
+    result = {
+        "bench": "router",
+        "timestamp": time.time(),
+        "smoke": args.smoke,
+        "rounds": rounds,
+        "calibration_cells": profile.num_cells,
+        "pinned_s": pinned,
+        "routed_s": routed_s,
+        "best_pinned": {"config": best_label, "seconds": best_pinned_s},
+        "worst_pinned": {"config": worst_label, "seconds": worst_pinned_s},
+        "routed_vs_best_ratio": routed_s / best_pinned_s,
+        "worst_pinned_speedup": worst_pinned_s / routed_s,
+        "ratio_limit": ratio_limit,
+    }
+    print(json.dumps({key: value for key, value in result.items()
+                      if key != "pinned_s"}, indent=2))
+
+    if result["routed_vs_best_ratio"] > ratio_limit:
+        print(f"[bench_router] FAIL: routed run is "
+              f"{result['routed_vs_best_ratio']:.2f}x the best pinned "
+              f"config ({best_label}); limit {ratio_limit}x")
+        return 1
+    if args.smoke:
+        print("[bench_router] smoke OK")
+    else:
+        out_path = Path(args.out)
+        out_path.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"[bench_router] wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

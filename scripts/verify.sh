@@ -19,7 +19,10 @@
 #      byte-identical to the eager goldens),
 #   9. the attack strategy grid smoke bench (every registry composition
 #      under budget against the stateful detector + admission control;
-#      writes BENCH_attacks.json).
+#      writes BENCH_attacks.json),
+#  10. the env-flag conformance + router suites and the adaptive-router
+#      smoke bench (routed wall time within 1.25x of the best pinned
+#      configuration).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -69,6 +72,12 @@ python benchmarks/bench_jit.py --smoke
 
 echo "== qa golden-trace gate (REPRO_NN_FUSE=1) =="
 REPRO_NN_FUSE=1 python -m repro.qa.regen --check
+
+echo "== env-flag conformance + router tests =="
+python -m pytest -x -q tests/utils tests/router
+
+echo "== adaptive-router smoke bench =="
+python benchmarks/bench_router.py --smoke
 
 echo "verify.sh: OK"
 

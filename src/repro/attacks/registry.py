@@ -37,7 +37,6 @@ List them from the shell::
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from functools import partial
 from typing import Callable
@@ -123,8 +122,14 @@ register_strategy(StrategyEntry(
 
 
 def default_strategy() -> str:
-    """The strategy selected by ``REPRO_ATTACK`` (or the built-in)."""
-    return os.environ.get(ATTACK_ENV, DEFAULT_STRATEGY).strip().lower()
+    """The strategy selected by ``REPRO_ATTACK`` (or the built-in).
+
+    Unknown names raise from :func:`resolve_strategy`; empty/unset means
+    the built-in default.
+    """
+    from repro.utils.envflags import env_str
+
+    return env_str(ATTACK_ENV, DEFAULT_STRATEGY).lower()
 
 
 def resolve_strategy(name: str | None = None) -> StrategyEntry:

@@ -28,7 +28,6 @@ Tiers:
 
 from __future__ import annotations
 
-import os
 from typing import Callable
 
 from repro.hashindex.binary import BinaryHashIndex
@@ -36,12 +35,34 @@ from repro.hashindex.ivfpq import IVFPQIndex
 from repro.retrieval.ann import IVFIndex
 from repro.retrieval.index import FeatureIndex
 from repro.retrieval.similarity import SimilarityFn
+from repro.utils.envflags import env_choice
 
 #: Name of the environment variable selecting the default tier.
 INDEX_TIER_ENV = "REPRO_INDEX_TIER"
 
 #: The tier used when nothing selects one (seed behaviour).
 DEFAULT_TIER = "exact"
+
+
+#: Rerank depths the router may choose between for compressed tiers.
+RERANK_CHOICES = ("32", "64", "128")
+
+#: Depth used when nothing routes one (the index constructors' default).
+DEFAULT_RERANK = 64
+
+
+def routed_rerank(tier: str) -> int:
+    """Rerank depth for ``tier``: the router's pick, else the default.
+
+    Unlike the other routed knobs this one trades recall for scan cost,
+    so :meth:`Router.decide` only admits depths whose *measured* recall
+    (recorded by the calibration CLI next to the cost) clears the
+    router's recall floor; cold start keeps the constructor default.
+    """
+    from repro.router import active_router
+
+    return int(active_router().decide(
+        "rerank", tier, RERANK_CHOICES, str(DEFAULT_RERANK)))
 
 
 def _exact(similarity: SimilarityFn) -> FeatureIndex:
@@ -53,11 +74,13 @@ def _ivf(similarity: SimilarityFn) -> IVFIndex:
 
 
 def _hamming(similarity: SimilarityFn) -> BinaryHashIndex:
-    return BinaryHashIndex(similarity=similarity, rng=0)
+    return BinaryHashIndex(similarity=similarity, rng=0,
+                           rerank=routed_rerank("hamming"))
 
 
 def _ivfpq(similarity: SimilarityFn) -> IVFPQIndex:
-    return IVFPQIndex(similarity=similarity, rng=0)
+    return IVFPQIndex(similarity=similarity, rng=0,
+                      rerank=routed_rerank("ivfpq"))
 
 
 #: tier name → ``factory(similarity) -> Index``.  Factories are seeded
@@ -81,14 +104,7 @@ def resolve_index_tier(name: str) -> Callable[[SimilarityFn], object]:
 
 def default_index_tier() -> str:
     """``REPRO_INDEX_TIER`` when set (and valid), else ``"exact"``."""
-    raw = os.environ.get(INDEX_TIER_ENV, "").strip().lower()
-    if not raw:
-        return DEFAULT_TIER
-    if raw not in INDEX_TIERS:
-        raise ValueError(
-            f"{INDEX_TIER_ENV}={raw!r} is not a known index tier; "
-            f"available: {sorted(INDEX_TIERS)}")
-    return raw
+    return env_choice(INDEX_TIER_ENV, tuple(INDEX_TIERS), DEFAULT_TIER)
 
 
 __all__ = [

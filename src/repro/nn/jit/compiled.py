@@ -19,13 +19,13 @@ declined.
 
 from __future__ import annotations
 
-import os
 import weakref
 from collections import OrderedDict
 
 import numpy as np
 
 from repro.obs import counter
+from repro.utils.envflags import env_bool, env_raw
 from repro.nn import modules as _modules
 from repro.nn import tensor as _tensor
 from repro.nn.tensor import Tensor, is_grad_enabled, make_op
@@ -41,8 +41,6 @@ __all__ = [
     "trace_cache_info",
 ]
 
-_TRUE_VALUES = ("1", "true", "yes", "on")
-
 #: Programmatic override for the REPRO_NN_FUSE env switch (None = env).
 _forced_fuse: bool | None = None
 
@@ -51,11 +49,21 @@ _COMPILED: "weakref.WeakSet[CompiledModule]" = weakref.WeakSet()
 
 
 def enabled() -> bool:
-    """Whether trace-and-fuse replay is globally switched on."""
+    """Whether trace-and-fuse replay is globally switched on.
+
+    Resolution order: :func:`set_fuse` override > ``REPRO_NN_FUSE`` >
+    the active router's measured fuse decision (off unless a calibration
+    profile shows replay winning).  Replay is bit-identical to eager
+    (``nn.fused_vs_eager`` oracle), so routing it is a latency choice.
+    """
     if _forced_fuse is not None:
         return _forced_fuse
-    value = os.environ.get("REPRO_NN_FUSE", "")
-    return value.strip().lower() in _TRUE_VALUES
+    if env_raw("REPRO_NN_FUSE") is not None:
+        return env_bool("REPRO_NN_FUSE")
+    from repro.router import active_router
+
+    return active_router().decide(
+        "fuse", "default", ("off", "on"), "off") == "on"
 
 
 def set_fuse(value: bool | None) -> None:

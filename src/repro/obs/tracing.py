@@ -46,11 +46,26 @@ _OVERRIDE: bool | None = None
 MAX_RECORDS = 200_000
 
 
+#: ``(raw env value, parsed bool)`` memo — parsing is skipped while the
+#: raw value is unchanged, but the env itself is still read every call
+#: so runtime flips keep taking effect (and garbage keeps raising).
+_ENV_MEMO: tuple[str | None, bool] | None = None
+
+
 def tracing_enabled() -> bool:
     """Return whether spans currently record (env re-read each call)."""
     if _OVERRIDE is not None:
         return _OVERRIDE
-    return os.environ.get(TRACE_ENV, "1") != "0"
+    global _ENV_MEMO
+    raw = os.environ.get(TRACE_ENV)
+    memo = _ENV_MEMO
+    if memo is not None and memo[0] == raw:
+        return memo[1]
+    from repro.utils.envflags import env_bool
+
+    value = env_bool(TRACE_ENV, True)
+    _ENV_MEMO = (raw, value)
+    return value
 
 
 def enable_tracing() -> None:

@@ -9,22 +9,23 @@ for pixels the engine has already embedded.
 :class:`EmbeddingCache` keys on a BLAKE2b digest of the raw pixel bytes
 (plus shape), so any single-value perturbation — i.e. every candidate the
 attacks generate — is a guaranteed miss and costs only the hash (~µs at
-clip sizes used here, vs. ms for a forward).  Stored features are frozen
-(`writeable=False`) and returned as-is, so hits are bit-identical to the
-original forward.  Hit/miss/eviction counts are exported through
-``repro.obs`` under ``retrieval.embed_cache.*``.
+clip sizes used here, vs. ms for a forward).  Stored features are
+private copies frozen with ``writeable=False`` and returned as-is, so
+hits are bit-identical to the original forward and the caller's array is
+never frozen or aliased in place.  Hit/miss/eviction counts are exported
+through ``repro.obs`` under ``retrieval.embed_cache.*``.
 """
 
 from __future__ import annotations
 
 import hashlib
-import os
 import threading
 from collections import OrderedDict
 
 import numpy as np
 
 from repro.obs import counter, gauge
+from repro.utils.envflags import env_int
 
 #: Default capacity; override per-engine or via ``REPRO_EMBED_CACHE``.
 DEFAULT_CAPACITY = 256
@@ -32,14 +33,7 @@ DEFAULT_CAPACITY = 256
 
 def default_capacity() -> int:
     """Capacity from ``REPRO_EMBED_CACHE`` (``0`` disables caching)."""
-    raw = os.environ.get("REPRO_EMBED_CACHE", "")
-    if not raw.strip():
-        return DEFAULT_CAPACITY
-    try:
-        return max(0, int(raw))
-    except ValueError as exc:
-        raise ValueError(
-            f"REPRO_EMBED_CACHE={raw!r} is not an integer") from exc
+    return env_int("REPRO_EMBED_CACHE", DEFAULT_CAPACITY, minimum=0)
 
 
 def content_key(pixels: np.ndarray) -> bytes:
@@ -82,18 +76,20 @@ class EmbeddingCache:
 
     def get(self, key: bytes) -> np.ndarray | None:
         """Look up a digest; counts a hit or miss either way."""
-        if not self.enabled:
-            entry = None
-        else:
-            with self._lock:
-                entry = self._entries.get(key)
-                if entry is not None:
-                    self._entries.move_to_end(key)
+        # hits/misses live under the lock: pooled-worker runs increment
+        # from several threads, and an unlocked read-modify-write loses
+        # updates, so stats() could disagree with the obs counters (and
+        # with the number of lookups actually made).
+        with self._lock:
+            entry = self._entries.get(key) if self.enabled else None
+            if entry is None:
+                self.misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
         if entry is None:
-            self.misses += 1
             counter(f"{self.metric_prefix}.misses").inc()
             return None
-        self.hits += 1
         counter(f"{self.metric_prefix}.hits").inc()
         return entry
 
@@ -102,6 +98,12 @@ class EmbeddingCache:
         if not self.enabled:
             return
         stored = np.asarray(feature)
+        if np.shares_memory(stored, feature):
+            # ``asarray`` returns the caller's array (or a view of it)
+            # unchanged; freezing that in place would make the *caller's*
+            # buffer read-only and leave the cache aliasing memory the
+            # caller may still mutate.  Store a private copy instead.
+            stored = stored.copy()
         stored.setflags(write=False)
         evicted = 0
         with self._lock:
@@ -110,9 +112,9 @@ class EmbeddingCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 evicted += 1
+            self.evictions += evicted
             size = len(self._entries)
         if evicted:
-            self.evictions += evicted
             counter(f"{self.metric_prefix}.evictions").inc(evicted)
         gauge(f"{self.metric_prefix}.size").set(size)
 
@@ -123,11 +125,12 @@ class EmbeddingCache:
         gauge(f"{self.metric_prefix}.size").set(0)
 
     def stats(self) -> dict:
-        """Hit/miss/eviction counts and current size."""
-        return {
-            "capacity": self.capacity,
-            "size": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        """Hit/miss/eviction counts and current size (one atomic view)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

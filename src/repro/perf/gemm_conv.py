@@ -30,13 +30,13 @@ within ``allclose`` (same dtype, different summation order).
 
 from __future__ import annotations
 
-import os
 import threading
 from collections import OrderedDict
 
 import numpy as np
 
 from repro.obs import counter
+from repro.utils.envflags import env_choice, env_int
 
 _IMPL_CHOICES = ("auto", "gemm", "einsum")
 
@@ -63,21 +63,34 @@ def conv_impl() -> str:
     """Active implementation policy: forced > ``REPRO_CONV_IMPL`` > auto."""
     if _forced_impl is not None:
         return _forced_impl
-    value = os.environ.get("REPRO_CONV_IMPL", "auto").strip().lower()
-    if value not in _IMPL_CHOICES:
-        raise ValueError(
-            f"REPRO_CONV_IMPL={value!r} invalid; choose from {_IMPL_CHOICES}")
-    return value
+    return env_choice("REPRO_CONV_IMPL", _IMPL_CHOICES, "auto")
+
+
+def conv_size_key(gemm_elems: int) -> str:
+    """Router cost-table key: log2 bucket of the im2col element count."""
+    return f"e{max(int(gemm_elems), 1).bit_length()}"
 
 
 def should_use_gemm(gemm_elems: int) -> bool:
-    """Decide the fast path for an im2col matrix of ``gemm_elems`` elements."""
+    """Decide the fast path for an im2col matrix of ``gemm_elems`` elements.
+
+    A forced/env impl always wins; under ``auto`` the active router may
+    override the static size threshold with a measured per-size-bucket
+    decision (cold start falls back to the threshold).  Both paths are
+    equivalence-pinned by the ``conv*.einsum_vs_gemm`` oracles, so this
+    is a pure latency choice.
+    """
     impl = conv_impl()
     if impl == "gemm":
         return True
     if impl == "einsum":
         return False
-    return gemm_elems >= GEMM_AUTO_THRESHOLD
+    default = "gemm" if gemm_elems >= GEMM_AUTO_THRESHOLD else "einsum"
+    from repro.router import active_router
+
+    return active_router().decide(
+        "conv", conv_size_key(gemm_elems), ("einsum", "gemm"),
+        default) == "gemm"
 
 
 def _kernel_offsets(kernel: tuple[int, ...]):
@@ -177,13 +190,7 @@ _plan_misses = 0
 
 def plan_cache_cap() -> int:
     """The LRU bound for per-shape caches (plans and jit traces)."""
-    value = os.environ.get("REPRO_PLAN_CACHE_CAP", "").strip()
-    if not value:
-        return _MAX_PLANS
-    cap = int(value)
-    if cap < 1:
-        raise ValueError(f"REPRO_PLAN_CACHE_CAP must be >= 1, got {cap}")
-    return cap
+    return env_int("REPRO_PLAN_CACHE_CAP", _MAX_PLANS, minimum=1)
 
 
 def get_plan(x_shape, w_shape, stride, padding) -> ConvPlan:

@@ -14,7 +14,6 @@ checked for NaN/Inf at construction, and any previously-installed hook
 from __future__ import annotations
 
 import contextlib
-import os
 
 import numpy as np
 
@@ -62,8 +61,9 @@ def install_runtime_guards() -> bool:
     Returns whether the guard was installed.  Called on ``repro.qa``
     import; a no-op (returning False) without the env flag.
     """
-    flag = os.environ.get("REPRO_QA_NANGUARD", "").strip()
-    if flag not in ("1", "true", "on"):
+    from repro.utils.envflags import env_bool
+
+    if not env_bool("REPRO_QA_NANGUARD", False):
         return False
     previous_make, previous_backward = get_autograd_hooks()
     set_autograd_hooks(_finite_make_hook(previous_make), previous_backward)

@@ -1,0 +1,239 @@
+"""``python -m repro.router.calibrate`` — measure costs, write a profile.
+
+Each probe times the *real* production code path for every option of one
+routing domain on this machine, records the samples into a private
+metrics registry (calibration never pollutes the process-wide obs
+registry), and the distilled :class:`CalibrationProfile` is written
+atomically to ``--out`` (default: :func:`default_profile_path`).
+
+Probes:
+
+* ``conv`` — :func:`repro.nn.functional.conv2d` with the implementation
+  forced to einsum / GEMM, across shapes spanning several im2col size
+  buckets;
+* ``search`` — per-video :meth:`RetrievalEngine.retrieve` loop vs one
+  :meth:`retrieve_batch` call, per batch-size bucket (the batch-size-2
+  leg doubles as the ``speculate`` probe: SimBA/NES speculation is
+  exactly a paired retrieval batch);
+* ``embed_cache`` — repeated re-embedding with the content-hash cache
+  enabled vs disabled;
+* ``fuse`` — repeated embedding with trace-and-fuse replay on vs off
+  (first ``on`` pass traces and is discarded as warm-up);
+* ``serving_batch`` — per-item cost of batched retrieval at each
+  admissible frontend batch size;
+* ``rerank`` — compressed-tier query cost at each candidate depth, with
+  recall measured against the exact index (the router refuses depths
+  whose recall undercuts its floor).
+
+Timings are machine-specific by design — that is the point of a
+calibration profile.  Everything *else* (shapes, seeds, probe order) is
+deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+from repro.router.costmodel import (
+    profile_from_registry,
+    record_cost,
+    record_recall,
+)
+from repro.router.core import batch_size_key
+from repro.router.profile import CalibrationProfile, default_profile_path
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------- #
+# Probes
+# ---------------------------------------------------------------------- #
+def probe_conv(registry: MetricsRegistry, reps: int, seed: int) -> None:
+    from repro.nn.functional import conv2d
+    from repro.nn.tensor import Tensor, no_grad
+    from repro.perf.gemm_conv import conv_size_key, set_conv_impl
+
+    rng = np.random.default_rng(seed)
+    # (batch, in_ch, size, out_ch, k): spans buckets from micro-convs
+    # (einsum territory) to model-backbone shapes (GEMM territory).
+    shapes = [(1, 3, 8, 4, 3), (2, 8, 16, 8, 3), (4, 16, 16, 16, 3)]
+    try:
+        for batch, in_ch, size, out_ch, k in shapes:
+            x = Tensor(rng.standard_normal((batch, in_ch, size, size)))
+            w = Tensor(rng.standard_normal((out_ch, in_ch, k, k)))
+            out = size - k + 1
+            key = conv_size_key(batch * out * out * in_ch * k * k)
+            for impl in ("einsum", "gemm"):
+                set_conv_impl(impl)
+                with no_grad():
+                    conv2d(x, w)  # warm caches/plans outside the clock
+                    for _ in range(reps):
+                        record_cost("conv", key, impl,
+                                    _timed(lambda: conv2d(x, w)), registry)
+    finally:
+        set_conv_impl(None)
+
+
+def probe_search(registry: MetricsRegistry, reps: int, seed: int) -> None:
+    from repro.qa.world import build_world, tiny_videos
+
+    world = build_world(seed, cache_size=0)
+    engine = world.engine
+    for batch in (2, 4, 8):
+        queries = tiny_videos(seed + batch, batch, label_base=3)
+        key = batch_size_key(batch)
+        for _ in range(reps):
+            scalar = _timed(lambda: [engine.retrieve(v, 5) for v in queries])
+            batched = _timed(lambda: engine.retrieve_batch(queries, 5))
+            record_cost("search", key, "scalar", scalar, registry)
+            record_cost("search", key, "batched", batched, registry)
+            if batch == 2:
+                # A speculated SimBA/NES pair IS a 2-batch retrieval:
+                # "on" pays one batched call, "off" two scalar calls.
+                for spec_key in ("simba", "nes"):
+                    record_cost("speculate", spec_key, "on", batched,
+                                registry)
+                    record_cost("speculate", spec_key, "off", scalar,
+                                registry)
+
+
+def probe_embed_cache(registry: MetricsRegistry, reps: int,
+                      seed: int) -> None:
+    from repro.qa.world import build_world, tiny_videos
+
+    videos = tiny_videos(seed + 1, 4, label_base=3)
+    worlds = {"on": build_world(seed, cache_size=32),
+              "off": build_world(seed, cache_size=0)}
+    for option, world in worlds.items():
+        world.engine.embed_queries(videos)  # warm (fills the cache on-leg)
+        for _ in range(reps):
+            record_cost("embed_cache", "default", option,
+                        _timed(lambda: world.engine.embed_queries(videos)),
+                        registry)
+
+
+def probe_fuse(registry: MetricsRegistry, reps: int, seed: int) -> None:
+    from repro.qa.world import build_world, tiny_videos
+
+    world = build_world(seed, cache_size=0)
+    videos = tiny_videos(seed + 2, 4, label_base=3)
+    for option, fuse in (("off", False), ("on", True)):
+        world.engine.configure_fuse(fuse)
+        world.engine.embed_queries(videos)  # the on-leg traces here
+        for _ in range(reps):
+            record_cost("fuse", "default", option,
+                        _timed(lambda: world.engine.embed_queries(videos)),
+                        registry)
+    world.engine.configure_fuse(None)
+
+
+def probe_serving_batch(registry: MetricsRegistry, reps: int, seed: int,
+                        sizes: tuple[int, ...] = (1, 2, 4, 8, 16)) -> None:
+    from repro.qa.world import build_world, tiny_videos
+
+    world = build_world(seed, cache_size=0)
+    engine = world.engine
+    pool = tiny_videos(seed + 3, max(sizes), label_base=3)
+    for size in sizes:
+        queries = pool[:size]
+        engine.retrieve_batch(queries, 5)  # warm
+        for _ in range(reps):
+            elapsed = _timed(lambda: engine.retrieve_batch(queries, 5))
+            # The frontend decision is per-request: normalise to per-item.
+            record_cost("serving_batch", "default", str(size),
+                        elapsed / size, registry)
+
+
+def probe_rerank(registry: MetricsRegistry, reps: int, seed: int,
+                 rows: int = 256, dim: int = 32, k: int = 10) -> None:
+    from repro.hashindex.binary import BinaryHashIndex
+    from repro.hashindex.ivfpq import IVFPQIndex
+    from repro.hashindex.tiers import RERANK_CHOICES
+    from repro.retrieval.index import FeatureIndex
+
+    rng = np.random.default_rng(seed)
+    features = rng.standard_normal((rows, dim))
+    ids = [f"cal-{i}" for i in range(rows)]
+    labels = [i % 5 for i in range(rows)]
+    queries = features[rng.integers(0, rows, size=8)] + \
+        0.05 * rng.standard_normal((8, dim))
+
+    exact = FeatureIndex()
+    exact.add_batch(ids, labels, features)
+    truth = [{e.video_id for e in exact.search(q, k)} for q in queries]
+
+    factories = {
+        "hamming": lambda r: BinaryHashIndex(rng=0, rerank=r),
+        "ivfpq": lambda r: IVFPQIndex(rng=0, rerank=r),
+    }
+    for tier, make in factories.items():
+        for choice in RERANK_CHOICES:
+            index = make(int(choice))
+            index.add_batch(ids, labels, features)
+            matched = total = 0
+            for q, expected in zip(queries, truth):
+                got = {e.video_id for e in index.search(q, k)}
+                matched += len(got & expected)
+                total += len(expected)
+            record_recall("rerank", tier, choice,
+                          matched / total if total else 1.0, registry)
+            for _ in range(reps):
+                record_cost("rerank", tier, choice, _timed(
+                    lambda: [index.search(q, k) for q in queries]), registry)
+
+
+# ---------------------------------------------------------------------- #
+# CLI
+# ---------------------------------------------------------------------- #
+def run_calibration(reps: int = 5, seed: int = 7,
+                    quick: bool = False) -> CalibrationProfile:
+    """Run every probe; return the distilled profile (not yet saved)."""
+    registry = MetricsRegistry()
+    reps = max(1, int(reps) if not quick else 1)
+    probe_conv(registry, reps, seed)
+    probe_search(registry, reps, seed)
+    probe_embed_cache(registry, reps, seed)
+    probe_fuse(registry, reps, seed)
+    probe_serving_batch(registry, reps, seed,
+                        sizes=(1, 2, 4) if quick else (1, 2, 4, 8, 16))
+    probe_rerank(registry, reps, seed, rows=64 if quick else 256)
+    return profile_from_registry(registry, meta={
+        "tool": "repro.router.calibrate",
+        "seed": int(seed),
+        "reps": reps,
+        "quick": bool(quick),
+    })
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.router.calibrate",
+        description="Measure per-option costs and write a router profile.")
+    parser.add_argument("--out", default=None,
+                        help="profile path (default: REPRO_ROUTER_PROFILE "
+                             "or results/router_profile.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="single-rep smoke calibration (noisy, fast)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--reps", type=int, default=5,
+                        help="timing repetitions per (domain, key, option)")
+    opts = parser.parse_args(argv)
+
+    profile = run_calibration(reps=opts.reps, seed=opts.seed,
+                              quick=opts.quick)
+    target = opts.out if opts.out is not None else default_profile_path()
+    path = profile.save(target)
+    print(f"wrote {profile.num_cells} calibration cells to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,91 @@
+"""Cost bookkeeping: obs histograms in, calibration profiles out.
+
+Costs live in the same metrics registry everything else uses
+(:mod:`repro.obs.metrics`), under two instrument families:
+
+* ``router.cost_s{domain=,key=,option=}`` — histogram of measured
+  wall-clock seconds for one implementation option on one shape/load
+  bucket;
+* ``router.recall{domain=,key=,option=}`` — gauge holding the measured
+  recall of that option against the exact reference (only recorded for
+  accuracy-trading options such as rerank depths).
+
+:func:`profile_from_registry` distills the live instruments into a
+:class:`~repro.router.profile.CalibrationProfile` — this is the bridge
+the calibration CLI (and any online recalibration) runs across.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.router.profile import CalibrationProfile, CostEntry
+
+COST_METRIC = "router.cost_s"
+RECALL_METRIC = "router.recall"
+
+#: Cost buckets: routed operations span ~1 µs (a cache probe) to ~100 ms
+#: (a cold conv batch); finer-than-default spacing keeps means honest.
+COST_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0,
+)
+
+
+def record_cost(domain: str, key: str, option: str, seconds: float,
+                registry: MetricsRegistry | None = None) -> None:
+    """Observe one cost sample for ``(domain, key, option)``."""
+    registry = registry or get_registry()
+    registry.histogram(COST_METRIC, buckets=COST_BUCKETS, domain=domain,
+                       key=key, option=option).observe(float(seconds))
+
+
+def record_recall(domain: str, key: str, option: str, recall: float,
+                  registry: MetricsRegistry | None = None) -> None:
+    """Record the measured recall of ``(domain, key, option)``."""
+    registry = registry or get_registry()
+    registry.gauge(RECALL_METRIC, domain=domain, key=key,
+                   option=option).set(float(recall))
+
+
+def profile_from_registry(registry: MetricsRegistry | None = None,
+                          min_samples: int = 1,
+                          meta: dict | None = None) -> CalibrationProfile:
+    """Distill ``router.*`` instruments into a calibration profile.
+
+    Cells with fewer than ``min_samples`` observations are dropped — a
+    single noisy timing must not flip a routing decision for the life of
+    a profile.
+    """
+    registry = registry or get_registry()
+    recalls: dict[tuple[str, str, str], float] = {}
+    for _name, labels, instrument in registry.iter_gauges(RECALL_METRIC):
+        if _name != RECALL_METRIC or math.isnan(instrument.value):
+            continue
+        recalls[(labels.get("domain", ""), labels.get("key", ""),
+                 labels.get("option", ""))] = instrument.value
+
+    profile = CalibrationProfile(meta=dict(meta or {}))
+    for _name, labels, instrument in registry.iter_histograms(COST_METRIC):
+        if _name != COST_METRIC or instrument.count < min_samples:
+            continue
+        domain = labels.get("domain", "")
+        key = labels.get("key", "")
+        option = labels.get("option", "")
+        if not (domain and key and option):
+            continue
+        profile.record(domain, key, option, CostEntry(
+            mean_s=instrument.mean,
+            count=instrument.count,
+            recall=recalls.get((domain, key, option))))
+    return profile
+
+
+__all__ = [
+    "COST_METRIC",
+    "RECALL_METRIC",
+    "COST_BUCKETS",
+    "record_cost",
+    "record_recall",
+    "profile_from_registry",
+]

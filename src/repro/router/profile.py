@@ -1,0 +1,189 @@
+"""Calibration profiles: measured per-(domain, key, option) costs on disk.
+
+A profile is the distilled form of the ``router.cost_s`` histograms and
+``router.recall`` gauges (see :mod:`repro.router.costmodel`): for every
+routing *domain* (``conv``, ``search``, ``embed_cache``, ``fuse``,
+``speculate``, ``serving_batch``, ``rerank``) and *key* (a shape/load
+bucket such as ``e18`` or ``b3``) it stores each candidate option's mean
+measured cost in seconds, the sample count behind it, and — for options
+that trade accuracy for speed — the measured recall.
+
+Profiles are plain JSON with a ``schema`` version stamp.  Saving is
+atomic (temp file + ``os.replace``) so a crashed calibration run can
+never leave a half-written profile for the next process to load; loading
+a profile with an unknown schema raises instead of silently routing on
+garbage, matching the :mod:`repro.utils.envflags` philosophy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+
+#: Bump when the on-disk layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default profile location.
+PROFILE_ENV = "REPRO_ROUTER_PROFILE"
+
+#: Where profiles live when ``REPRO_ROUTER_PROFILE`` is unset.
+DEFAULT_PROFILE_PATH = "results/router_profile.json"
+
+
+class ProfileError(ReproError):
+    """A calibration profile could not be read or failed validation."""
+
+
+def default_profile_path() -> Path:
+    """``REPRO_ROUTER_PROFILE`` when set, else ``results/router_profile.json``."""
+    from repro.utils.envflags import env_str
+
+    return Path(env_str(PROFILE_ENV, DEFAULT_PROFILE_PATH))
+
+
+@dataclass(frozen=True)
+class CostEntry:
+    """One option's measurements within a (domain, key) cell."""
+
+    mean_s: float
+    count: int = 1
+    recall: float | None = None
+
+    def to_json(self) -> dict:
+        entry: dict = {"mean_s": self.mean_s, "count": self.count}
+        if self.recall is not None:
+            entry["recall"] = self.recall
+        return entry
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CostEntry":
+        if not isinstance(data, dict) or "mean_s" not in data:
+            raise ProfileError(f"malformed cost entry: {data!r}")
+        recall = data.get("recall")
+        return cls(mean_s=float(data["mean_s"]),
+                   count=int(data.get("count", 1)),
+                   recall=None if recall is None else float(recall))
+
+
+@dataclass
+class CalibrationProfile:
+    """``domain → key → option → CostEntry`` plus provenance metadata.
+
+    ``meta`` holds free-form provenance (hostname, calibration seed,
+    probe repetitions); it never influences routing decisions, so two
+    profiles with equal ``entries`` route identically.
+    """
+
+    entries: dict[str, dict[str, dict[str, CostEntry]]] = \
+        field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    # -------------------------------------------------------------- #
+    # Building / querying
+    # -------------------------------------------------------------- #
+    def record(self, domain: str, key: str, option: str,
+               entry: CostEntry) -> None:
+        """Insert (or overwrite) one measurement cell."""
+        self.entries.setdefault(domain, {}).setdefault(key, {})[option] = entry
+
+    def cell(self, domain: str, key: str) -> dict[str, CostEntry]:
+        """All measured options for ``(domain, key)`` (empty when cold)."""
+        return self.entries.get(domain, {}).get(key, {})
+
+    def cost(self, domain: str, key: str, option: str) -> float | None:
+        entry = self.cell(domain, key).get(option)
+        return None if entry is None else entry.mean_s
+
+    @property
+    def num_cells(self) -> int:
+        return sum(len(keys) for keys in self.entries.values())
+
+    # -------------------------------------------------------------- #
+    # Serialization
+    # -------------------------------------------------------------- #
+    def to_json(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "meta": dict(self.meta),
+            "entries": {
+                domain: {
+                    key: {opt: entry.to_json()
+                          for opt, entry in sorted(options.items())}
+                    for key, options in sorted(keys.items())
+                }
+                for domain, keys in sorted(self.entries.items())
+            },
+        }
+
+    def save(self, path: str | os.PathLike) -> Path:
+        """Write the profile atomically (temp file + ``os.replace``)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+        fd, tmp_name = tempfile.mkstemp(
+            dir=target.parent, prefix=target.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return target
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CalibrationProfile":
+        if not isinstance(data, dict):
+            raise ProfileError(f"profile root must be an object, "
+                               f"got {type(data).__name__}")
+        schema = data.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ProfileError(
+                f"profile schema {schema!r} is not supported "
+                f"(this build reads schema {SCHEMA_VERSION}); re-run "
+                f"`python -m repro.router.calibrate`")
+        raw_entries = data.get("entries", {})
+        if not isinstance(raw_entries, dict):
+            raise ProfileError("profile 'entries' must be an object")
+        entries: dict[str, dict[str, dict[str, CostEntry]]] = {}
+        for domain, keys in raw_entries.items():
+            if not isinstance(keys, dict):
+                raise ProfileError(f"domain {domain!r} must map keys")
+            entries[str(domain)] = {
+                str(key): {str(opt): CostEntry.from_json(entry)
+                           for opt, entry in options.items()}
+                for key, options in keys.items()
+            }
+        return cls(entries=entries, meta=dict(data.get("meta", {})))
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "CalibrationProfile":
+        """Read and validate a profile; raises :class:`ProfileError`."""
+        target = Path(path)
+        try:
+            data = json.loads(target.read_text())
+        except FileNotFoundError:
+            raise
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ProfileError(
+                f"could not read router profile {target}: {exc}") from exc
+        return cls.from_json(data)
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "PROFILE_ENV",
+    "DEFAULT_PROFILE_PATH",
+    "ProfileError",
+    "CostEntry",
+    "CalibrationProfile",
+    "default_profile_path",
+]

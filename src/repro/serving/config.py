@@ -7,15 +7,19 @@ per front end, with nested per-tenant :class:`TenantPolicy` entries.
 
 ``REPRO_SERVING_BATCH`` overrides the default micro-batch size from the
 environment (benchmarks use it to sweep batching without code changes);
-an explicit ``max_batch_size`` passed in code always wins.
+an explicit ``max_batch_size`` passed in code always wins.  All flags
+parse through :mod:`repro.utils.envflags`: invalid values raise instead
+of silently coercing to the default (``REPRO_SERVING_BATCH=abc`` used to
+mean 8).
 """
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field, replace
 from types import MappingProxyType
 from typing import Mapping
+
+from repro.utils.envflags import env_bool, env_int, env_set
 
 #: Priority classes, best first.  Interactive requests are dispatched
 #: before bulk ones queued at the same time, and bulk is shed first.
@@ -32,29 +36,28 @@ _ENV_CHURN = -1
 
 
 def default_batch_size() -> int:
-    """``REPRO_SERVING_BATCH`` when set (and valid), else 8."""
-    raw = os.environ.get("REPRO_SERVING_BATCH", "").strip()
-    if raw:
-        try:
-            value = int(raw)
-        except ValueError:
-            value = 0
-        if value >= 1:
-            return value
-    return 8
+    """``REPRO_SERVING_BATCH`` when set, else routed/8.
+
+    Unset (or empty) falls back to the active router's micro-batch
+    decision — 8 unless a calibration profile says otherwise
+    (see :mod:`repro.router`).  Invalid or ``< 1`` values raise.
+    """
+    if env_set("REPRO_SERVING_BATCH"):
+        return env_int("REPRO_SERVING_BATCH", 8, minimum=1)
+    from repro.router import active_router
+
+    return int(active_router().decide(
+        "serving_batch", "default",
+        ("1", "2", "4", "8", "16", "32"), "8"))
 
 
 def default_workers() -> int:
-    """``REPRO_SERVING_WORKERS`` when set (and valid), else 1."""
-    raw = os.environ.get("REPRO_SERVING_WORKERS", "").strip()
-    if raw:
-        try:
-            value = int(raw)
-        except ValueError:
-            value = 0
-        if value >= 1:
-            return value
-    return 1
+    """``REPRO_SERVING_WORKERS`` when set (and valid), else 1.
+
+    Invalid or ``< 1`` values raise (``REPRO_SERVING_WORKERS=0`` used to
+    silently mean 1).
+    """
+    return env_int("REPRO_SERVING_WORKERS", 1, minimum=1)
 
 
 def default_churn() -> bool:
@@ -62,10 +65,9 @@ def default_churn() -> bool:
 
     When on, the front end pins a gallery snapshot per admitted request
     even for pure-query timelines — useful when something outside the
-    event loop mutates the gallery mid-run.
+    event loop mutates the gallery mid-run.  Non-boolean values raise.
     """
-    raw = os.environ.get("REPRO_GALLERY_CHURN", "").strip().lower()
-    return raw in ("1", "true", "yes", "on")
+    return env_bool("REPRO_GALLERY_CHURN", False)
 
 
 @dataclass(frozen=True)

@@ -7,6 +7,14 @@
 from repro.utils.seeding import SeedSequence, seeded_rng, set_global_seed
 from repro.utils.logging import get_logger
 from repro.utils.timing import Timer
+from repro.utils.envflags import (
+    env_bool,
+    env_choice,
+    env_int,
+    env_raw,
+    env_set,
+    env_str,
+)
 
 __all__ = [
     "SeedSequence",
@@ -14,4 +22,10 @@ __all__ = [
     "set_global_seed",
     "get_logger",
     "Timer",
+    "env_bool",
+    "env_choice",
+    "env_int",
+    "env_raw",
+    "env_set",
+    "env_str",
 ]

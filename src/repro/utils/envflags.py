@@ -1,0 +1,113 @@
+"""One parser for every ``REPRO_*`` environment flag.
+
+Before this module each flag parsed itself, and the failure behaviour
+had drifted: ``REPRO_EMBED_CACHE=abc`` raised, ``REPRO_SERVING_BATCH=abc``
+silently became 8, and ``REPRO_SERVING_WORKERS=0`` silently became 1.  A
+typo'd flag that silently falls back to the default is worse than a
+crash — the run *looks* configured but is not, and benchmarks sweep
+these flags programmatically.
+
+The contract, uniform across flags:
+
+* **unset or empty/whitespace** → the documented default (an empty
+  string is indistinguishable from unset, matching shell ``VAR= cmd``
+  usage);
+* **a valid value** → that value, normalised (ints parsed, choices
+  lower-cased, booleans mapped from ``1/true/yes/on`` / ``0/false/no/off``);
+* **anything else** → :class:`ValueError` naming the flag, the raw
+  value, and what would have been accepted.  Never a silent default.
+
+``0`` is a *valid* value wherever the flag's ``minimum`` admits it
+(``REPRO_EMBED_CACHE=0`` disables the cache); flags with ``minimum=1``
+(``REPRO_SERVING_BATCH``, ``REPRO_SERVING_WORKERS``) now reject ``0``
+loudly instead of swallowing it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+#: Accepted spellings for boolean flags (case-insensitive).
+TRUE_VALUES = ("1", "true", "yes", "on")
+FALSE_VALUES = ("0", "false", "no", "off")
+
+
+def env_raw(name: str) -> str | None:
+    """The stripped value of ``name``, or ``None`` when unset/empty."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return None
+    raw = raw.strip()
+    return raw if raw else None
+
+
+def env_set(name: str) -> bool:
+    """Whether ``name`` carries a non-empty value."""
+    return env_raw(name) is not None
+
+
+def env_int(name: str, default: int, *, minimum: int | None = None,
+            maximum: int | None = None) -> int:
+    """Integer flag; raises on non-integers and out-of-range values."""
+    raw = env_raw(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{name}={raw!r} is not an integer") from exc
+    if minimum is not None and value < minimum:
+        raise ValueError(
+            f"{name}={value} is below the minimum of {minimum}")
+    if maximum is not None and value > maximum:
+        raise ValueError(
+            f"{name}={value} is above the maximum of {maximum}")
+    return value
+
+
+def env_bool(name: str, default: bool = False) -> bool:
+    """Boolean flag; raises on anything outside the accepted spellings."""
+    raw = env_raw(name)
+    if raw is None:
+        return default
+    lowered = raw.lower()
+    if lowered in TRUE_VALUES:
+        return True
+    if lowered in FALSE_VALUES:
+        return False
+    raise ValueError(
+        f"{name}={raw!r} is not a boolean; use one of "
+        f"{TRUE_VALUES + FALSE_VALUES}")
+
+
+def env_choice(name: str, choices: Sequence[str], default: str) -> str:
+    """Enumerated flag (case-insensitive); raises on unknown values."""
+    raw = env_raw(name)
+    if raw is None:
+        return default
+    lowered = raw.lower()
+    if lowered not in choices:
+        raise ValueError(
+            f"{name}={raw!r} is not a known value; "
+            f"choose from {sorted(choices)}")
+    return lowered
+
+
+def env_str(name: str, default: str = "") -> str:
+    """Free-form string flag (paths, directories); stripped."""
+    raw = env_raw(name)
+    return default if raw is None else raw
+
+
+__all__ = [
+    "TRUE_VALUES",
+    "FALSE_VALUES",
+    "env_raw",
+    "env_set",
+    "env_int",
+    "env_bool",
+    "env_choice",
+    "env_str",
+]

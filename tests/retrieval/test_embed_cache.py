@@ -1,9 +1,13 @@
 """Tests for the content-hash embedding cache on the retrieval engine."""
 
+import sys
+import time
+
 import numpy as np
 import pytest
 
 from repro.perf.cache import EmbeddingCache, content_key, default_capacity
+from repro.qa.concurrency import BarrierHarness
 from repro.retrieval import RetrievalEngine
 from repro.video import Video
 
@@ -62,6 +66,69 @@ class TestEmbeddingCache:
         entry = cache.get(key)
         with pytest.raises(ValueError):
             entry[0] = 0.0
+
+    def test_put_neither_freezes_nor_aliases_caller_array(self, rng):
+        # Regression: ``put`` used to freeze the caller's ndarray in
+        # place (asarray returns it unchanged), so mutating the source
+        # afterwards either raised ValueError or corrupted the cache.
+        cache = EmbeddingCache(capacity=4)
+        key = content_key(rng.random(3))
+        feature = rng.random(4)
+        cache.put(key, feature)
+        snapshot = np.array(cache.get(key))
+        feature[0] += 123.0  # caller reuses its buffer; must not raise
+        entry = cache.get(key)
+        assert not np.shares_memory(entry, feature)
+        np.testing.assert_array_equal(entry, snapshot)
+        assert feature.flags.writeable
+
+    def test_counter_accounting_exact_under_free_threads(self, rng):
+        # Regression: hit/miss bookkeeping used to run outside the
+        # cache's lock, so racing lookups lost read-modify-write updates
+        # and ``hits + misses`` drifted below the lookup count.  On a
+        # GIL interpreter a plain ``self.hits += 1`` is never preempted
+        # mid-increment, so the race window is widened with a descriptor
+        # that yields between the read and the write — counting stays
+        # exact only if the increment runs under the cache's lock.
+        class YieldingCounter:
+            def __set_name__(self, owner, name):
+                self.slot = "_yielding_" + name
+
+            def __get__(self, obj, objtype=None):
+                if obj is None:
+                    return self
+                value = obj.__dict__.get(self.slot, 0)
+                time.sleep(0)  # offer the scheduler a switch point
+                return value
+
+            def __set__(self, obj, value):
+                obj.__dict__[self.slot] = value
+
+        class InstrumentedCache(EmbeddingCache):
+            hits = YieldingCounter()
+            misses = YieldingCounter()
+
+        cache = InstrumentedCache(capacity=8)
+        present = [content_key(np.array([float(i)])) for i in range(3)]
+        absent = content_key(np.array([99.0]))
+        for key in present:
+            cache.put(key, rng.random(4))
+        threads, steps, burst = 4, 60, 10
+        keys = present + [absent]
+        harness = BarrierHarness(threads=threads, steps=steps, seed=3)
+
+        def worker(thread_id, step, _rng):
+            for i in range(burst):
+                cache.get(keys[(thread_id + step + i) % len(keys)])
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            harness.run_free(worker)
+        finally:
+            sys.setswitchinterval(old_interval)
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == threads * steps * burst
 
     def test_env_capacity(self, monkeypatch):
         monkeypatch.setenv("REPRO_EMBED_CACHE", "7")

@@ -1,0 +1,329 @@
+"""Unit tests for the cost-model adaptive router.
+
+Covers the profile round-trip (atomic save, schema validation), the
+decision rules (argmin, deterministic tie-break, recall floor, cold
+start), env activation through ``active_router``, and the wiring into
+``ServiceConfig`` / ``RetrievalEngine.configure_router``.
+"""
+
+import json
+
+import pytest
+
+from repro.retrieval.config import ServiceConfig
+from repro.router import (
+    DISABLED,
+    CalibrationProfile,
+    CostEntry,
+    ProfileError,
+    Router,
+    active_router,
+    batch_size_key,
+    profile_from_registry,
+    set_router,
+)
+from repro.router.costmodel import record_cost, record_recall
+from repro.router.profile import SCHEMA_VERSION
+
+
+def _profile(cells):
+    """``{(domain, key, option): (mean_s[, recall])} → profile``."""
+    profile = CalibrationProfile()
+    for (domain, key, option), spec in cells.items():
+        mean_s, recall = spec if isinstance(spec, tuple) else (spec, None)
+        profile.record(domain, key, option,
+                       CostEntry(mean_s, count=2, recall=recall))
+    return profile
+
+
+@pytest.fixture(autouse=True)
+def _no_router_override():
+    """Every test starts and ends on the env-resolved router."""
+    set_router(None)
+    yield
+    set_router(None)
+
+
+# ---------------------------------------------------------------------- #
+# Profile round-trip
+# ---------------------------------------------------------------------- #
+class TestProfile:
+    def test_save_load_round_trip(self, tmp_path):
+        profile = _profile({
+            ("search", "b2", "scalar"): 1e-4,
+            ("search", "b2", "batched"): 2e-5,
+            ("rerank", "hamming", "32"): (1e-5, 0.9),
+        })
+        profile.meta["seed"] = 7
+        path = profile.save(tmp_path / "deep" / "profile.json")
+        loaded = CalibrationProfile.load(path)
+        assert loaded.entries == profile.entries
+        assert loaded.meta == {"seed": 7}
+        assert loaded.num_cells == 2
+
+    def test_save_is_atomic_no_temp_residue(self, tmp_path):
+        profile = _profile({("fuse", "default", "on"): 1e-4})
+        profile.save(tmp_path / "profile.json")
+        profile.save(tmp_path / "profile.json")  # overwrite in place
+        assert [p.name for p in tmp_path.iterdir()] == ["profile.json"]
+
+    def test_schema_mismatch_raises_with_recalibrate_hint(self, tmp_path):
+        path = tmp_path / "profile.json"
+        document = _profile({("fuse", "default", "on"): 1e-4}).to_json()
+        document["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(document))
+        with pytest.raises(ProfileError, match="repro.router.calibrate"):
+            CalibrationProfile.load(path)
+
+    def test_corrupt_json_raises_profile_error(self, tmp_path):
+        path = tmp_path / "profile.json"
+        path.write_text("{not json")
+        with pytest.raises(ProfileError):
+            CalibrationProfile.load(path)
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CalibrationProfile.load(tmp_path / "absent.json")
+
+    def test_malformed_entry_raises(self):
+        with pytest.raises(ProfileError):
+            CalibrationProfile.from_json(
+                {"schema": SCHEMA_VERSION,
+                 "entries": {"fuse": {"default": {"on": {"count": 3}}}}})
+
+
+# ---------------------------------------------------------------------- #
+# Decision rules
+# ---------------------------------------------------------------------- #
+class TestDecide:
+    def test_argmin_wins(self):
+        router = Router(_profile({("search", "b2", "scalar"): 5e-4,
+                                  ("search", "b2", "batched"): 1e-4}))
+        assert router.decide("search", "b2", ("scalar", "batched"),
+                             "scalar") == "batched"
+
+    def test_tie_breaks_by_options_order(self):
+        router = Router(_profile({("speculate", "nes", "off"): 3e-4,
+                                  ("speculate", "nes", "on"): 3e-4}))
+        assert router.decide("speculate", "nes", ("off", "on"),
+                             "on") == "off"
+        assert router.decide("speculate", "nes", ("on", "off"),
+                             "off") == "on"
+
+    def test_cold_cell_returns_default(self):
+        router = Router(_profile({("search", "b2", "scalar"): 1e-4}))
+        assert router.decide("search", "b9", ("scalar", "batched"),
+                             "batched") == "batched"
+
+    def test_no_profile_returns_default(self):
+        assert Router(profile=None).decide(
+            "search", "b2", ("scalar", "batched"), "batched") == "batched"
+
+    def test_disabled_returns_default(self):
+        assert DISABLED.decide("fuse", "default", ("off", "on"),
+                               "off") == "off"
+
+    def test_recall_floor_excludes_cheap_but_lossy(self):
+        router = Router(_profile({
+            ("rerank", "hamming", "32"): (1e-5, 0.90),
+            ("rerank", "hamming", "64"): (2e-4, 1.0),
+        }))
+        assert router.decide("rerank", "hamming", ("32", "64", "128"),
+                             "64") == "64"
+
+    def test_all_below_floor_returns_default(self):
+        router = Router(_profile({
+            ("rerank", "hamming", "32"): (1e-5, 0.5),
+            ("rerank", "hamming", "64"): (2e-5, 0.6),
+        }))
+        assert router.decide("rerank", "hamming", ("32", "64"),
+                             "128") == "128"
+
+    def test_unmeasured_option_never_chosen(self):
+        router = Router(_profile({("search", "b2", "scalar"): 1e-4}))
+        assert router.decide("search", "b2", ("scalar", "batched"),
+                             "batched") == "scalar"
+
+    def test_batch_size_key_buckets(self):
+        assert batch_size_key(1) == "b1"
+        assert batch_size_key(2) == "b2"
+        assert batch_size_key(3) == "b2"
+        assert batch_size_key(8) == "b4"
+        assert batch_size_key(0) == "b1"  # clamped
+
+
+# ---------------------------------------------------------------------- #
+# Cost-model distillation
+# ---------------------------------------------------------------------- #
+class TestCostModel:
+    def test_profile_from_registry_means_and_recall(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        record_cost("search", "b2", "scalar", 0.002, registry=registry)
+        record_cost("search", "b2", "scalar", 0.004, registry=registry)
+        record_cost("search", "b2", "batched", 0.001, registry=registry)
+        record_recall("rerank", "hamming", "32", 0.9, registry=registry)
+        record_cost("rerank", "hamming", "32", 0.0005, registry=registry)
+        profile = profile_from_registry(registry=registry)
+        scalar = profile.cell("search", "b2")["scalar"]
+        assert scalar.count == 2
+        assert scalar.mean_s == pytest.approx(0.003)
+        assert profile.cell("rerank", "hamming")["32"].recall == \
+            pytest.approx(0.9)
+
+    def test_min_samples_filters_thin_cells(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        record_cost("fuse", "default", "on", 0.001, registry=registry)
+        assert profile_from_registry(registry=registry,
+                                     min_samples=2).num_cells == 0
+
+    def test_router_timed_records_into_global_registry(self):
+        from repro.obs import get_registry
+        from repro.router.costmodel import COST_METRIC
+
+        router = Router(profile=None)
+        with router.timed("search", "b1", "scalar"):
+            pass
+        found = [key for name, key, _ in
+                 get_registry().iter_histograms(COST_METRIC)
+                 if key.get("key") == "b1"]
+        assert found
+
+
+# ---------------------------------------------------------------------- #
+# Env activation and overrides
+# ---------------------------------------------------------------------- #
+class TestActivation:
+    def test_unset_env_is_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ROUTER", raising=False)
+        router = active_router()
+        assert not router.enabled
+        assert router.decide("fuse", "default", ("off", "on"),
+                             "off") == "off"
+
+    def test_env_on_missing_profile_is_cold_start(self, monkeypatch,
+                                                  tmp_path):
+        monkeypatch.setenv("REPRO_ROUTER", "1")
+        monkeypatch.setenv("REPRO_ROUTER_PROFILE",
+                           str(tmp_path / "absent.json"))
+        router = active_router()
+        assert router.enabled and router.profile is None
+        assert router.decide("search", "b2", ("scalar", "batched"),
+                             "batched") == "batched"
+
+    def test_env_on_loads_profile_and_routes(self, monkeypatch, tmp_path):
+        path = _profile({("fuse", "default", "on"): 1e-5,
+                         ("fuse", "default", "off"): 1e-3}).save(
+            tmp_path / "profile.json")
+        monkeypatch.setenv("REPRO_ROUTER", "1")
+        monkeypatch.setenv("REPRO_ROUTER_PROFILE", str(path))
+        assert active_router().decide("fuse", "default", ("off", "on"),
+                                      "off") == "on"
+
+    def test_env_change_invalidates_cache(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_ROUTER", "0")
+        assert not active_router().enabled
+        monkeypatch.setenv("REPRO_ROUTER", "1")
+        monkeypatch.setenv("REPRO_ROUTER_PROFILE",
+                           str(tmp_path / "absent.json"))
+        assert active_router().enabled
+
+    def test_corrupt_profile_raises_loudly(self, monkeypatch, tmp_path):
+        path = tmp_path / "profile.json"
+        path.write_text("[]")
+        monkeypatch.setenv("REPRO_ROUTER", "1")
+        monkeypatch.setenv("REPRO_ROUTER_PROFILE", str(path))
+        with pytest.raises(ProfileError):
+            active_router()
+
+    def test_garbage_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ROUTER", "2")
+        with pytest.raises(ValueError):
+            active_router()
+
+    def test_set_router_override_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ROUTER", "0")
+        override = Router(_profile({("fuse", "default", "on"): 1e-5,
+                                    ("fuse", "default", "off"): 1e-3}))
+        set_router(override)
+        assert active_router() is override
+        set_router(None)
+        assert not active_router().enabled
+
+
+# ---------------------------------------------------------------------- #
+# Engine / ServiceConfig wiring
+# ---------------------------------------------------------------------- #
+class TestWiring:
+    def test_service_config_accepts_router_bool_none(self):
+        ServiceConfig(router=None)
+        ServiceConfig(router=True)
+        ServiceConfig(router=False)
+        ServiceConfig(router=Router(profile=None))
+
+    def test_service_config_rejects_garbage_router(self):
+        with pytest.raises(TypeError, match="router must be a Router"):
+            ServiceConfig(router="yes")
+
+    def test_configure_router_false_pins_disabled(self, monkeypatch,
+                                                  tiny_victim):
+        engine = tiny_victim.engine
+        monkeypatch.setenv("REPRO_ROUTER", "1")
+        monkeypatch.setenv("REPRO_ROUTER_PROFILE", "/nonexistent.json")
+        try:
+            engine.configure_router(False)
+            assert engine._router_effective() is DISABLED
+        finally:
+            engine.configure_router(None)
+
+    def test_configure_router_true_without_profile_is_cold(
+            self, monkeypatch, tmp_path, tiny_victim):
+        engine = tiny_victim.engine
+        monkeypatch.setenv("REPRO_ROUTER_PROFILE",
+                           str(tmp_path / "absent.json"))
+        try:
+            engine.configure_router(True)
+            router = engine._router_effective()
+            assert router.enabled and router.profile is None
+        finally:
+            engine.configure_router(None)
+
+    def test_configure_router_instance_and_garbage(self, tiny_victim):
+        engine = tiny_victim.engine
+        router = Router(profile=None)
+        try:
+            engine.configure_router(router)
+            assert engine._router_effective() is router
+            with pytest.raises(TypeError):
+                engine.configure_router("fast")
+        finally:
+            engine.configure_router(None)
+
+    def test_service_build_wires_router(self, tiny_victim):
+        from repro.retrieval.service import RetrievalService
+
+        router = Router(profile=None)
+        service = RetrievalService.build(
+            tiny_victim.engine, ServiceConfig(router=router))
+        try:
+            assert service.engine._router_effective() is router
+        finally:
+            service.engine.configure_router(None)
+
+
+# ---------------------------------------------------------------------- #
+# Calibration CLI
+# ---------------------------------------------------------------------- #
+def test_calibrate_cli_writes_loadable_profile(tmp_path, capsys):
+    from repro.router.calibrate import main
+
+    out = tmp_path / "profile.json"
+    assert main(["--quick", "--reps", "1", "--out", str(out)]) == 0
+    assert "calibration cells" in capsys.readouterr().out
+    profile = CalibrationProfile.load(out)
+    assert profile.num_cells > 0
+    assert {"search", "serving_batch", "rerank"} <= set(profile.entries)
+    assert profile.meta.get("quick") is True
